@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (fewer repetitions and shorter simulated durations than the paper's
+128 x 100-second runs) and prints the corresponding rows/series, so the
+qualitative comparison recorded in EXPERIMENTS.md can be re-checked from the
+benchmark output alone.  ``pytest benchmarks/ --benchmark-only -s`` shows the
+tables inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Fixture wrapper around :func:`run_once`."""
+
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,27 @@
+"""E9 — §5.5 datacenter table: DCTCP (ECN) versus a RemyCC over DropTail.
+
+Expected shape (paper): comparable mean/median throughput between the two
+schemes, with the RemyCC's per-packet RTTs higher because it runs over a
+plain tail-drop queue instead of an ECN-marking gateway.
+
+The default run is scaled down by 16x (4 senders at 625 Mbps instead of 64 at
+10 Gbps) to stay affordable in pure Python; the per-flow share and the
+buffer-to-BDP ratio are preserved.
+"""
+
+from repro.experiments.datacenter import run_datacenter
+
+
+def test_datacenter_dctcp_vs_remycc(bench_once):
+    result = bench_once(run_datacenter, scale=16, duration=2.5)
+    print()
+    print(result.format_table())
+
+    dctcp, remy = result.dctcp, result.remycc
+    assert dctcp.mean_throughput_mbps > 0
+    assert remy.mean_throughput_mbps > 0
+    # Comparable throughput: within a factor of two of each other.
+    ratio = remy.mean_throughput_mbps / dctcp.mean_throughput_mbps
+    assert 0.5 < ratio < 2.0
+    # The RemyCC pays for DropTail with higher RTTs than DCTCP's ECN gateway.
+    assert remy.mean_rtt_ms >= dctcp.mean_rtt_ms * 0.8

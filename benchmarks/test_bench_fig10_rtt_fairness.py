@@ -1,0 +1,25 @@
+"""E8 — Figure 10: RTT unfairness of RemyCCs versus Cubic-over-sfqCoDel.
+
+Expected shape (paper): all schemes favour the short-RTT flow, but the
+RemyCCs' share-vs-RTT profile is flatter (higher Jain index) than
+Cubic-over-sfqCoDel's.
+"""
+
+from repro.experiments.rtt_fairness import format_figure10, run_figure10
+
+
+def test_figure10_rtt_fairness(bench_once):
+    results = bench_once(run_figure10, n_runs=3, duration=25.0)
+    print()
+    print(format_figure10(results))
+
+    by_name = {r.scheme: r for r in results}
+    cubic = by_name["Cubic/sfqCoDel"]
+    remys = [r for name, r in by_name.items() if name.startswith("Remy")]
+
+    for result in results:
+        assert abs(sum(result.shares) - 1.0) < 1e-6
+    # At least one RemyCC is no less RTT-fair than Cubic-over-sfqCoDel
+    # (smaller spread between the best- and worst-treated flow).
+    assert min(r.share_spread() for r in remys) <= cubic.share_spread() + 0.05
+    assert max(r.jain for r in remys) >= cubic.jain - 0.02

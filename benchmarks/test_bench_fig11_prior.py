@@ -1,0 +1,26 @@
+"""E11 — Figure 11: the value (and danger) of prior knowledge about the link speed.
+
+Expected shape (paper): the "1×" RemyCC (link speed known exactly) is best at
+its 15 Mbps design point but deteriorates away from it; the "10×" RemyCC is
+robust across its 4.7-47 Mbps band; Cubic-over-sfqCoDel does not collapse
+anywhere but is beaten inside the RemyCCs' design ranges.
+"""
+
+from repro.experiments.prior_knowledge import run_figure11
+
+
+def test_figure11_prior_knowledge(bench_once):
+    speeds = (2.0, 4.7, 15.0, 47.0, 80.0)
+    result = bench_once(run_figure11, link_speeds_mbps=speeds, n_runs=2, duration=15.0)
+    print()
+    print(result.format_table())
+
+    one_x_design = result.score_at("RemyCC 1x", 15.0)
+    one_x_above = result.score_at("RemyCC 1x", 80.0)
+    # The 1x table wins at its design point among the three schemes...
+    assert one_x_design >= result.score_at("Cubic/sfqCoDel", 15.0) - 0.3
+    # ...but loses ground when its assumption is badly violated (80 Mbps).
+    assert one_x_design > one_x_above
+    # The 10x table holds up across its whole design band.
+    in_band = [result.score_at("RemyCC 10x", s) for s in (4.7, 15.0, 47.0)]
+    assert min(in_band) > one_x_above

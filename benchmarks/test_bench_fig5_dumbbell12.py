@@ -1,0 +1,22 @@
+"""E3 — Figure 5: dumbbell, n = 12 senders, ICSI (heavy-tailed) flow lengths.
+
+Expected shape (paper): as in Figure 4 but with higher variance because of
+the heavy-tailed workload; the RemyCCs again mark the efficient frontier.
+"""
+
+from repro.experiments.dumbbell import run_figure5
+
+
+def test_figure5_dumbbell_12_senders(bench_once):
+    result = bench_once(run_figure5, n_runs=1, duration=20.0)
+    print()
+    print(result.format_table())
+    print("efficient frontier:", ", ".join(result.frontier_names()))
+
+    remy01 = result["Remy d=0.1"]
+    newreno = result["NewReno"]
+    vegas = result["Vegas"]
+
+    assert remy01.median_throughput_mbps() > newreno.median_throughput_mbps()
+    assert remy01.median_throughput_mbps() > vegas.median_throughput_mbps()
+    assert any(name.startswith("Remy") for name in result.frontier_names())

@@ -1,0 +1,24 @@
+"""E4 — Figure 6: sequence plot of a RemyCC flow as cross traffic departs.
+
+Expected shape (paper): while sharing the link the flow sends at roughly half
+the link speed; shortly after the competing flow stops, it speeds up to
+consume most of the bottleneck.
+"""
+
+from repro.experiments.convergence import run_figure6
+
+
+def test_figure6_convergence(bench_once):
+    result = bench_once(run_figure6, duration=24.0, departure_time=12.0)
+    print()
+    print(
+        f"rate before departure: {result.rate_before_mbps:.2f} Mbps, "
+        f"after: {result.rate_after_mbps:.2f} Mbps "
+        f"(link {result.link_rate_mbps:.0f} Mbps, speedup {result.speedup_after_departure:.2f}x)"
+    )
+    print(f"sequence trace points recorded: {len(result.sequence_trace)}")
+
+    # Sharing roughly halves the rate; departure frees the link.
+    assert result.rate_before_mbps < 0.75 * result.link_rate_mbps
+    assert result.rate_after_mbps > result.rate_before_mbps * 1.2
+    assert result.rate_after_mbps <= result.link_rate_mbps * 1.05

@@ -1,0 +1,55 @@
+"""E13 — the Remy design procedure itself (§4.3), at laptop scale.
+
+This is not a figure in the paper, but the optimizer's behaviour — the score
+improving monotonically over greedy steps and the rule table growing by
+octree splits — is the mechanism every RemyCC depends on, so the benchmark
+exercises a miniature end-to-end design run and reports its statistics.
+"""
+
+from repro.core.config import ConfigRange, ParameterRange
+from repro.core.evaluator import Evaluator, EvaluatorSettings
+from repro.core.objective import Objective
+from repro.core.optimizer import OptimizerSettings, RemyOptimizer
+from repro.core.whisker_tree import WhiskerTree
+
+
+def _tiny_design_range() -> ConfigRange:
+    return ConfigRange(
+        link_speed_bps=ParameterRange(4e6, 8e6),
+        rtt_seconds=ParameterRange.exact(0.08),
+        n_senders=ParameterRange(1, 2),
+        mean_on_seconds=ParameterRange.exact(2.0),
+        mean_off_seconds=ParameterRange.exact(1.0),
+    )
+
+
+def test_optimizer_miniature_design_run(bench_once):
+    evaluator = Evaluator(
+        _tiny_design_range(),
+        Objective.proportional(delta=1.0),
+        EvaluatorSettings(num_specimens=2, sim_duration=3.0, seed=3),
+    )
+    optimizer = RemyOptimizer(
+        evaluator,
+        tree=WhiskerTree(name="bench-remycc"),
+        settings=OptimizerSettings(
+            epochs_per_split=1,
+            max_epochs=2,
+            max_evaluations=120,
+            candidate_magnitudes=1,
+        ),
+    )
+
+    tree = bench_once(optimizer.optimize)
+    state = optimizer.state
+    print()
+    print(
+        f"evaluations: {state.evaluations_used}, improvements: {state.improvements}, "
+        f"splits: {state.splits}, rules: {len(tree)}"
+    )
+    print(f"score history (first/best/last): {state.score_history[0]:.3f} / "
+          f"{state.best_score:.3f} / {state.score_history[-1]:.3f}")
+
+    assert state.evaluations_used > 0
+    assert len(tree) >= 8  # at least one octree split happened
+    assert state.best_score >= state.score_history[0] - 1e-9

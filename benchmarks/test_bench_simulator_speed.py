@@ -1,0 +1,39 @@
+"""Ablation / infrastructure benchmark: raw simulator packet throughput.
+
+Not a paper figure, but every experiment's cost is dominated by the
+packet-level simulator, so its events-per-second rate is the number that
+determines how far the paper-scale parameters can be pushed.  Also compares
+the queue disciplines' overhead, which is the ablation DESIGN.md calls out
+for the router-assisted baselines.
+"""
+
+import pytest
+
+from repro.netsim.network import NetworkSpec
+from repro.netsim.sender import AlwaysOnWorkload
+from repro.netsim.simulator import Simulation
+from repro.protocols.newreno import NewReno
+
+
+def _run(queue: str) -> int:
+    spec = NetworkSpec(
+        link_rate_bps=10e6, rtt=0.05, n_flows=4, queue=queue, buffer_packets=500
+    )
+    sim = Simulation(
+        spec,
+        [NewReno() for _ in range(4)],
+        [AlwaysOnWorkload() for _ in range(4)],
+        duration=5.0,
+        seed=0,
+    )
+    result = sim.run()
+    return result.events_processed
+
+
+@pytest.mark.parametrize("queue", ["droptail", "codel", "sfqcodel", "red", "xcp"])
+def test_simulator_event_rate(benchmark, queue):
+    events = benchmark.pedantic(_run, args=(queue,), rounds=1, iterations=1)
+    print(f"\nqueue={queue}: {events} events for 4x5s at 10 Mbps")
+    # Classic RED dropping non-ECN TCP traffic keeps the link lightly used
+    # (that is RED working as designed), so it processes far fewer events.
+    assert events > (1_000 if queue == "red" else 10_000)

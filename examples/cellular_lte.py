@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Cellular scenario: congestion control over a time-varying LTE-like downlink.
+
+Reproduces the structure of the paper's §5.3 experiments: a trace-driven
+bottleneck whose deliverable rate swings between a few hundred kbit/s and
+tens of Mbit/s, shared by several senders running either a human-designed
+TCP or a RemyCC.  Prints the per-scheme medians and whether the RemyCCs land
+on the efficient frontier.
+
+Usage::
+
+    python examples/cellular_lte.py [--carrier verizon|att] [--senders N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.base import remycc_scheme, run_scheme, SchemeSpec
+from repro.experiments.cellular import cellular_spec
+from repro.analysis.frontier import efficient_frontier
+from repro.analysis.summary import format_summary_table
+from repro.protocols.cubic import Cubic
+from repro.protocols.newreno import NewReno
+from repro.protocols.vegas import Vegas
+from repro.traces.cellular import att_lte_trace, verizon_lte_trace
+from repro.traffic.onoff import ByteFlowWorkload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--carrier", choices=("verizon", "att"), default="verizon")
+    parser.add_argument("--senders", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--runs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    trace_builder = verizon_lte_trace if args.carrier == "verizon" else att_lte_trace
+    trace = trace_builder(duration_seconds=args.duration, seed=args.seed)
+    spec = cellular_spec(trace, n_flows=args.senders)
+    print(
+        f"{args.carrier} synthetic trace: {len(trace)} delivery opportunities over "
+        f"{args.duration:.0f}s (mean {len(trace) * 1500 * 8 / args.duration / 1e6:.1f} Mbps)"
+    )
+
+    schemes = [
+        SchemeSpec("NewReno", NewReno),
+        SchemeSpec("Cubic", Cubic),
+        SchemeSpec("Vegas", Vegas),
+        SchemeSpec("Cubic/sfqCoDel", Cubic, queue="sfqcodel"),
+        remycc_scheme("delta0.1", label="Remy d=0.1"),
+        remycc_scheme("delta10", label="Remy d=10"),
+    ]
+
+    def workload(_flow_id: int) -> ByteFlowWorkload:
+        return ByteFlowWorkload.exponential(mean_flow_bytes=100e3, mean_off_seconds=0.5)
+
+    summaries = []
+    for scheme in schemes:
+        summary = run_scheme(
+            scheme, spec, workload, n_runs=args.runs, duration=args.duration, base_seed=args.seed
+        )
+        summaries.append(summary)
+        print(f"ran {scheme.name}")
+
+    print()
+    print(format_summary_table(summaries))
+    frontier = [s.scheme for s in efficient_frontier(summaries)]
+    print()
+    print("efficient frontier (throughput vs queueing delay):", ", ".join(frontier))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Run the Remy design procedure (§4.3) and save the resulting RemyCC.
+
+This drives the actual optimizer — specimen sampling, greedy per-rule action
+improvement and octree splitting — over a configurable design range and
+objective, then writes the resulting rule table to JSON so it can be loaded
+into any experiment with :func:`repro.core.serialization.load_remycc`.
+
+The defaults are laptop-scale (minutes); pass ``--paper-scale`` to request
+the paper's 16-specimen, 100-second evaluations (CPU-days in pure Python —
+see DESIGN.md's substitution table).
+
+Usage::
+
+    python examples/train_remycc.py --delta 1.0 --output my_remycc.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.config import general_purpose_range
+from repro.core.evaluator import Evaluator, EvaluatorSettings
+from repro.core.objective import Objective
+from repro.core.optimizer import OptimizerSettings, RemyOptimizer
+from repro.core.serialization import save_remycc
+from repro.core.whisker_tree import WhiskerTree
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--delta", type=float, default=1.0, help="delay weight of the objective")
+    parser.add_argument("--output", default="remycc.json", help="where to save the rule table")
+    parser.add_argument("--specimens", type=int, default=3, help="network specimens per evaluation")
+    parser.add_argument("--sim-duration", type=float, default=6.0, help="seconds simulated per specimen")
+    parser.add_argument("--max-epochs", type=int, default=4, help="greedy epochs to run")
+    parser.add_argument("--max-evaluations", type=int, default=250, help="evaluation budget")
+    parser.add_argument("--paper-scale", action="store_true", help="use the paper's evaluation size")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    if args.paper_scale:
+        evaluator_settings = EvaluatorSettings.paper_scale(seed=args.seed)
+    else:
+        evaluator_settings = EvaluatorSettings(
+            num_specimens=args.specimens, sim_duration=args.sim_duration, seed=args.seed
+        )
+
+    evaluator = Evaluator(
+        general_purpose_range(),
+        Objective.proportional(delta=args.delta),
+        evaluator_settings,
+    )
+    optimizer = RemyOptimizer(
+        evaluator,
+        tree=WhiskerTree(name=f"trained-delta{args.delta:g}"),
+        settings=OptimizerSettings(
+            max_epochs=args.max_epochs,
+            max_evaluations=args.max_evaluations,
+            candidate_magnitudes=1,
+            epochs_per_split=2,
+        ),
+        progress=lambda message, state: print(
+            f"[epoch {state.global_epoch} evals {state.evaluations_used:4d} "
+            f"best {state.best_score:8.4f}] {message}"
+        ),
+    )
+
+    print(f"designing a RemyCC for: {evaluator.objective.describe()}")
+    print(f"design range: {len(evaluator.specimens)} specimens, e.g. {evaluator.specimens[0].describe()}")
+    start = time.time()
+    tree = optimizer.optimize()
+    elapsed = time.time() - start
+
+    print()
+    print(tree.describe())
+    print()
+    print(
+        f"finished in {elapsed:.1f}s: {optimizer.state.evaluations_used} evaluations, "
+        f"{optimizer.state.improvements} action improvements, "
+        f"{optimizer.state.splits} splits, {len(tree)} rules"
+    )
+    path = save_remycc(tree, args.output)
+    print(f"saved rule table to {path}")
+
+
+if __name__ == "__main__":
+    main()

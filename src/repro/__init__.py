@@ -1,0 +1,29 @@
+"""repro — a pure-Python reproduction of "TCP ex Machina" (Remy, SIGCOMM 2013).
+
+The package is organised as follows:
+
+``repro.netsim``
+    Discrete-event, packet-level network simulator (the ns-2 substitute).
+``repro.protocols``
+    Congestion-control algorithms: the RemyCC runtime and the human-designed
+    baselines the paper compares against (NewReno, Vegas, Cubic, Compound,
+    DCTCP, XCP, ...).
+``repro.core``
+    The Remy optimizer itself: memory/action/whisker representations, the
+    network-model configuration ranges, objective functions, the specimen
+    evaluator and the greedy rule-table search.
+``repro.traffic``
+    Workload models (exponential on/off, Pareto / empirical flow sizes,
+    datacenter incast).
+``repro.traces``
+    Synthetic cellular (LTE-like) link traces and trace-driven link support.
+``repro.analysis``
+    Result summarisation: throughput/delay statistics, 1-sigma ellipses,
+    efficient frontiers, fairness metrics and speedup tables.
+``repro.experiments``
+    One harness per figure/table of the paper's evaluation section.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""Result analysis: the metrics and summaries behind every figure and table.
+
+* :mod:`repro.analysis.summary` — per-scheme throughput/delay summaries over
+  repeated simulation runs (the points behind each ellipse of Figures 4-9).
+* :mod:`repro.analysis.ellipse` — maximum-likelihood 2-D Gaussian fits and
+  their 1-sigma contours.
+* :mod:`repro.analysis.frontier` — efficient (Pareto) frontier extraction.
+* :mod:`repro.analysis.fairness` — Jain's index and normalised throughput
+  shares (Figure 10).
+* :mod:`repro.analysis.compare` — median speedup / delay-reduction tables
+  (the summary tables in §1 and §5.8).
+"""
+
+from repro.analysis.summary import SchemeSummary, summarize_runs
+from repro.analysis.ellipse import GaussianEllipse, fit_gaussian_ellipse
+from repro.analysis.frontier import efficient_frontier, is_dominated
+from repro.analysis.fairness import jain_index, normalized_shares
+from repro.analysis.compare import SpeedupRow, speedup_table
+
+__all__ = [
+    "SchemeSummary",
+    "summarize_runs",
+    "GaussianEllipse",
+    "fit_gaussian_ellipse",
+    "efficient_frontier",
+    "is_dominated",
+    "jain_index",
+    "normalized_shares",
+    "SpeedupRow",
+    "speedup_table",
+]

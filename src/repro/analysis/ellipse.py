@@ -1,0 +1,102 @@
+"""Maximum-likelihood 2-D Gaussian fits and 1-sigma ellipses.
+
+The paper's throughput-delay plots show, for every scheme, the 1-sigma
+elliptic contour of the maximum-likelihood two-dimensional Gaussian fitted to
+the per-run (queueing delay, throughput) points, plus the median point.  The
+size of the ellipse conveys how consistent (fair) the scheme is across
+identically placed users; its orientation conveys the covariance between
+throughput and delay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class GaussianEllipse:
+    """A 1-sigma ellipse of a 2-D Gaussian fit."""
+
+    mean_x: float
+    mean_y: float
+    var_x: float
+    var_y: float
+    cov_xy: float
+    #: Semi-axis lengths (sqrt of the covariance matrix's eigenvalues).
+    semi_major: float
+    semi_minor: float
+    #: Orientation of the major axis, radians counter-clockwise from +x.
+    angle: float
+    n_points: int
+
+    def contains(self, x: float, y: float, n_sigma: float = 1.0) -> bool:
+        """True if (x, y) lies within the ``n_sigma`` contour (Mahalanobis test)."""
+        det = self.var_x * self.var_y - self.cov_xy ** 2
+        if det <= 0:
+            return math.isclose(x, self.mean_x) and math.isclose(y, self.mean_y)
+        dx = x - self.mean_x
+        dy = y - self.mean_y
+        maha = (
+            self.var_y * dx * dx - 2 * self.cov_xy * dx * dy + self.var_x * dy * dy
+        ) / det
+        return maha <= n_sigma ** 2
+
+    def boundary_points(self, count: int = 64, n_sigma: float = 1.0) -> list[tuple[float, float]]:
+        """Points on the contour, for plotting with any external tool."""
+        points = []
+        cos_a, sin_a = math.cos(self.angle), math.sin(self.angle)
+        for i in range(count):
+            theta = 2 * math.pi * i / count
+            px = n_sigma * self.semi_major * math.cos(theta)
+            py = n_sigma * self.semi_minor * math.sin(theta)
+            points.append(
+                (
+                    self.mean_x + px * cos_a - py * sin_a,
+                    self.mean_y + px * sin_a + py * cos_a,
+                )
+            )
+        return points
+
+
+def fit_gaussian_ellipse(
+    xs: Sequence[float], ys: Sequence[float]
+) -> GaussianEllipse:
+    """Fit the maximum-likelihood 2-D Gaussian to (xs, ys) and return its 1-sigma ellipse."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    n = len(xs)
+    if n == 0:
+        raise ValueError("need at least one point")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    # Maximum-likelihood (population) covariance, as in the paper.
+    var_x = sum((x - mean_x) ** 2 for x in xs) / n
+    var_y = sum((y - mean_y) ** 2 for y in ys) / n
+    cov_xy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / n
+
+    # Eigen-decomposition of the 2x2 covariance matrix.
+    trace = var_x + var_y
+    det = var_x * var_y - cov_xy ** 2
+    half_trace = trace / 2
+    disc = max(half_trace ** 2 - det, 0.0)
+    root = math.sqrt(disc)
+    lambda1 = half_trace + root
+    lambda2 = max(half_trace - root, 0.0)
+    if abs(cov_xy) > 1e-15:
+        angle = math.atan2(lambda1 - var_x, cov_xy)
+    else:
+        angle = 0.0 if var_x >= var_y else math.pi / 2
+
+    return GaussianEllipse(
+        mean_x=mean_x,
+        mean_y=mean_y,
+        var_x=var_x,
+        var_y=var_y,
+        cov_xy=cov_xy,
+        semi_major=math.sqrt(lambda1),
+        semi_minor=math.sqrt(lambda2),
+        angle=angle,
+        n_points=n,
+    )

@@ -1,0 +1,36 @@
+"""Efficient-frontier extraction for throughput/delay summaries.
+
+A scheme is on the efficient frontier when no other scheme offers both higher
+(or equal) throughput and lower (or equal) queueing delay.  In the paper's
+in-range experiments the frontier is traced entirely by the RemyCCs
+(Figures 4, 5, 7); the helpers here let the experiment harnesses and tests
+check exactly that property.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.summary import SchemeSummary
+
+
+def is_dominated(candidate: SchemeSummary, others: Sequence[SchemeSummary]) -> bool:
+    """True if some other scheme is at least as good on both axes and better on one."""
+    c_tput = candidate.median_throughput_mbps()
+    c_delay = candidate.median_queue_delay_ms()
+    for other in others:
+        if other is candidate:
+            continue
+        o_tput = other.median_throughput_mbps()
+        o_delay = other.median_queue_delay_ms()
+        at_least_as_good = o_tput >= c_tput and o_delay <= c_delay
+        strictly_better = o_tput > c_tput or o_delay < c_delay
+        if at_least_as_good and strictly_better:
+            return True
+    return False
+
+
+def efficient_frontier(summaries: Sequence[SchemeSummary]) -> list[SchemeSummary]:
+    """The subset of schemes not dominated by any other, sorted by throughput."""
+    frontier = [s for s in summaries if not is_dominated(s, summaries)]
+    return sorted(frontier, key=lambda s: s.median_throughput_mbps(), reverse=True)

@@ -1,0 +1,208 @@
+"""Evaluation of a candidate RemyCC over the network model (§4.3, inner loop).
+
+A single evaluation step draws a set of network specimens from the design
+range, simulates the candidate rule table at every sender of every specimen
+for a fixed number of seconds, and totals the objective function over all
+senders.  The specimen set and every random seed are derived
+deterministically from the evaluator's seed, so different candidate actions
+are compared on exactly the same networks (the variance-reduction trick the
+paper relies on).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import ConfigRange, NetConfig
+from repro.core.objective import Objective
+from repro.core.whisker_tree import WhiskerTree
+from repro.netsim.network import NetworkSpec
+from repro.netsim.simulator import Simulation, SimulationResult
+from repro.traffic.onoff import ByteFlowWorkload, TimedFlowWorkload
+
+
+@dataclass
+class FlowScore:
+    """Score and raw metrics for one sender in one specimen."""
+
+    specimen_index: int
+    flow_id: int
+    throughput_bps: float
+    avg_rtt_seconds: float
+    avg_queue_delay_seconds: float
+    score: float
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one rule table over the specimen set."""
+
+    score: float
+    flow_scores: list[FlowScore] = field(default_factory=list)
+    specimen_scores: list[float] = field(default_factory=list)
+    specimens: list[NetConfig] = field(default_factory=list)
+    simulations: int = 0
+
+    def mean_throughput_mbps(self) -> float:
+        values = [fs.throughput_bps / 1e6 for fs in self.flow_scores]
+        return statistics.fmean(values) if values else 0.0
+
+    def mean_queue_delay_ms(self) -> float:
+        values = [fs.avg_queue_delay_seconds * 1000 for fs in self.flow_scores]
+        return statistics.fmean(values) if values else 0.0
+
+
+@dataclass
+class EvaluatorSettings:
+    """Knobs controlling how expensive one evaluation is.
+
+    The paper draws 16+ specimens and simulates each for 100 seconds; with a
+    pure-Python packet simulator the defaults here are deliberately smaller.
+    The full-size settings can be requested explicitly (see
+    ``examples/train_remycc.py``).
+    """
+
+    num_specimens: int = 4
+    sim_duration: float = 8.0
+    seed: int = 0
+    queue_kind: str = "infinite"
+    buffer_packets: int = 1000
+    mss_bytes: int = 1500
+    max_events_per_sim: Optional[int] = 2_000_000
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0) -> "EvaluatorSettings":
+        """The settings the paper actually used (expensive in pure Python)."""
+        return cls(num_specimens=16, sim_duration=100.0, seed=seed)
+
+
+class Evaluator:
+    """Scores whisker trees against a design range and objective."""
+
+    def __init__(
+        self,
+        config_range: ConfigRange,
+        objective: Optional[Objective] = None,
+        settings: Optional[EvaluatorSettings] = None,
+    ):
+        self.config_range = config_range
+        self.objective = objective if objective is not None else Objective.proportional(1.0)
+        self.settings = settings if settings is not None else EvaluatorSettings()
+        self.specimens = config_range.specimens(
+            self.settings.num_specimens, seed=self.settings.seed
+        )
+        self.evaluations = 0
+
+    # -- specimen construction ---------------------------------------------------
+    def _spec_for(self, specimen: NetConfig) -> NetworkSpec:
+        queue_kind = self.settings.queue_kind
+        buffer_packets = self.settings.buffer_packets
+        if specimen.buffer_packets is not None:
+            buffer_packets = specimen.buffer_packets
+        elif queue_kind == "infinite":
+            buffer_packets = 1000  # ignored by the infinite queue
+        return NetworkSpec(
+            link_rate_bps=specimen.link_speed_bps,
+            rtt=specimen.rtt_seconds,
+            n_flows=specimen.n_senders,
+            queue=queue_kind,
+            buffer_packets=buffer_packets,
+            mss_bytes=self.settings.mss_bytes,
+        )
+
+    def _workload_for(self, specimen: NetConfig):
+        if specimen.mean_on_bytes is not None:
+            return ByteFlowWorkload.exponential(
+                mean_flow_bytes=specimen.mean_on_bytes,
+                mean_off_seconds=specimen.mean_off_seconds,
+            )
+        return TimedFlowWorkload.exponential(
+            mean_on_seconds=specimen.mean_on_seconds,
+            mean_off_seconds=specimen.mean_off_seconds,
+        )
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(self, tree: WhiskerTree, training: bool = True) -> EvaluationResult:
+        """Simulate ``tree`` on every specimen and total the objective.
+
+        ``training=True`` records per-whisker use counts and triggering
+        memories on the tree (required by the optimizer's most-used-rule and
+        split steps); pass ``False`` for a read-only scoring pass.
+        """
+        flow_scores: list[FlowScore] = []
+        specimen_scores: list[float] = []
+        self.evaluations += 1
+
+        for index, specimen in enumerate(self.specimens):
+            result = self._simulate_specimen(tree, specimen, index, training)
+            scores = self._score_specimen(result, specimen, index)
+            flow_scores.extend(scores)
+            per_flow = [fs.score for fs in scores]
+            specimen_scores.append(statistics.fmean(per_flow) if per_flow else 0.0)
+
+        total = statistics.fmean(specimen_scores) if specimen_scores else 0.0
+        return EvaluationResult(
+            score=total,
+            flow_scores=flow_scores,
+            specimen_scores=specimen_scores,
+            specimens=list(self.specimens),
+            simulations=len(self.specimens),
+        )
+
+    def _simulate_specimen(
+        self, tree: WhiskerTree, specimen: NetConfig, index: int, training: bool
+    ) -> SimulationResult:
+        # Imported here rather than at module scope: the protocols package
+        # imports repro.core, so a top-level import would be circular.
+        from repro.protocols.remycc import RemyCCProtocol
+
+        spec = self._spec_for(specimen)
+        protocols = [
+            RemyCCProtocol(tree, training=training) for _ in range(specimen.n_senders)
+        ]
+        workloads = [self._workload_for(specimen) for _ in range(specimen.n_senders)]
+        simulation = Simulation(
+            spec,
+            protocols,
+            workloads,
+            duration=self.settings.sim_duration,
+            # The specimen index (not the candidate action) determines the
+            # seed, so every candidate sees the same packet-level randomness.
+            seed=self.settings.seed * 7919 + index,
+            max_events=self.settings.max_events_per_sim,
+        )
+        return simulation.run()
+
+    def _score_specimen(
+        self, result: SimulationResult, specimen: NetConfig, index: int
+    ) -> list[FlowScore]:
+        fair_share = specimen.link_speed_bps / specimen.n_senders
+        scores = []
+        for stats in result.flow_stats:
+            if stats.on_time <= 0:
+                # The source never switched on during the (short) simulation;
+                # it expresses no preference, so it contributes no score.
+                continue
+            throughput = stats.throughput_bps()
+            avg_rtt = stats.avg_rtt() if stats.rtt_count else specimen.rtt_seconds
+            avg_delay = stats.avg_queue_delay()
+            score = self.objective.score_flow(
+                throughput_bps=throughput,
+                delay_seconds=max(avg_rtt, specimen.rtt_seconds),
+                fair_share_bps=fair_share,
+                min_rtt_seconds=specimen.rtt_seconds,
+            )
+            scores.append(
+                FlowScore(
+                    specimen_index=index,
+                    flow_id=stats.flow_id,
+                    throughput_bps=throughput,
+                    avg_rtt_seconds=avg_rtt,
+                    avg_queue_delay_seconds=avg_delay,
+                    score=score,
+                )
+            )
+        return scores

@@ -1,0 +1,193 @@
+"""Remy's automated design procedure: the greedy rule-table search of §4.3.
+
+The optimizer repeats the following loop:
+
+1. Mark every rule with the current epoch.
+2. Evaluate the current RemyCC and find the most-used rule in this epoch.
+3. Improve that rule's action until no candidate in its geometric
+   neighbourhood beats it (candidates are evaluated on the same specimen
+   networks and random seeds, so comparisons are low-variance), then retire
+   the rule from this epoch.
+4. When no rules remain in the epoch, increment the global epoch.  Every
+   ``K`` epochs, continue to step 5; otherwise return to step 1.
+5. Subdivide the most-used rule at the median memory value that triggered it,
+   producing eight children with the same action, then return to step 1.
+
+The result is an octree of memory regions whose granularity is finest where
+the memory space is most used.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.action import Action
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.whisker import Whisker
+from repro.core.whisker_tree import WhiskerTree
+
+logger = logging.getLogger(__name__)
+
+ProgressCallback = Callable[[str, "OptimizerState"], None]
+
+
+@dataclass
+class OptimizerSettings:
+    """Search budget and neighbourhood shape.
+
+    ``epochs_per_split`` is the paper's ``K`` (default 4).  The evaluation
+    budget bounds the total number of specimen-set evaluations, since each is
+    a full set of packet-level simulations.
+    """
+
+    epochs_per_split: int = 4
+    candidate_magnitudes: int = 1
+    max_epochs: int = 8
+    max_evaluations: int = 400
+    max_rules: int = 256
+    improvement_threshold: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.epochs_per_split <= 0:
+            raise ValueError("epochs_per_split must be positive")
+        if self.candidate_magnitudes < 1:
+            raise ValueError("candidate_magnitudes must be at least 1")
+        if self.max_epochs <= 0 or self.max_evaluations <= 0:
+            raise ValueError("budgets must be positive")
+
+
+@dataclass
+class OptimizerState:
+    """Progress bookkeeping exposed to callers and progress callbacks."""
+
+    global_epoch: int = 0
+    evaluations_used: int = 0
+    improvements: int = 0
+    splits: int = 0
+    best_score: float = float("-inf")
+    score_history: list[float] = field(default_factory=list)
+
+
+class RemyOptimizer:
+    """Greedy whisker-tree search (the Remy design phase)."""
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        tree: Optional[WhiskerTree] = None,
+        settings: Optional[OptimizerSettings] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        self.evaluator = evaluator
+        self.tree = tree if tree is not None else WhiskerTree()
+        self.settings = settings if settings is not None else OptimizerSettings()
+        self.progress = progress
+        self.state = OptimizerState()
+
+    # ------------------------------------------------------------------ helpers
+    def _notify(self, message: str) -> None:
+        logger.debug("%s (epoch=%d evals=%d)", message, self.state.global_epoch, self.state.evaluations_used)
+        if self.progress is not None:
+            self.progress(message, self.state)
+
+    def _budget_exhausted(self) -> bool:
+        return (
+            self.state.evaluations_used >= self.settings.max_evaluations
+            or self.state.global_epoch >= self.settings.max_epochs
+        )
+
+    def _evaluate(self, training: bool = True) -> EvaluationResult:
+        self.state.evaluations_used += 1
+        result = self.evaluator.evaluate(self.tree, training=training)
+        if result.score > self.state.best_score:
+            self.state.best_score = result.score
+        self.state.score_history.append(result.score)
+        return result
+
+    # ------------------------------------------------------------------ search
+    def optimize(self) -> WhiskerTree:
+        """Run the greedy search until the budget is exhausted."""
+        while not self._budget_exhausted():
+            self._run_epoch()
+            self.state.global_epoch += 1
+            if self.state.global_epoch % self.settings.epochs_per_split == 0:
+                self._split_most_used()
+        self._notify("optimization finished")
+        return self.tree
+
+    def _run_epoch(self) -> None:
+        """Steps 1-3: improve every used rule of the current epoch once."""
+        epoch = self.state.global_epoch
+        self.tree.set_epoch(epoch)
+        while not self._budget_exhausted():
+            self.tree.reset_statistics()
+            baseline = self._evaluate(training=True)
+            whisker = self.tree.most_used(epoch=epoch)
+            if whisker is None:
+                # No rule in this epoch was used: the epoch is finished.
+                break
+            improved_score = self._improve_whisker(whisker, baseline.score)
+            whisker.epoch = epoch + 1
+            self._notify(
+                f"improved rule to score {improved_score:.4f} "
+                f"(action {whisker.action.as_tuple()})"
+            )
+
+    def _improve_whisker(self, whisker: Whisker, baseline_score: float) -> float:
+        """Step 3: hill-climb the rule's action over its candidate neighbourhood."""
+        best_score = baseline_score
+        improved = True
+        while improved and not self._budget_exhausted():
+            improved = False
+            best_action = whisker.action
+            for candidate in whisker.action.neighbors(self.settings.candidate_magnitudes):
+                if self._budget_exhausted():
+                    break
+                original = whisker.action
+                whisker.action = candidate
+                result = self._evaluate(training=False)
+                whisker.action = original
+                if result.score > best_score + self.settings.improvement_threshold:
+                    best_score = result.score
+                    best_action = candidate
+            if best_action is not whisker.action and best_action != whisker.action:
+                whisker.action = best_action
+                self.state.improvements += 1
+                improved = True
+        return best_score
+
+    def _split_most_used(self) -> None:
+        """Step 5: subdivide the most-used rule at its median trigger.
+
+        The split itself is structural (cheap); it is performed even when the
+        evaluation budget has just run out so that a budget-bounded run still
+        produces the octree structure its epoch count implies.
+        """
+        if len(self.tree) >= self.settings.max_rules:
+            return
+        self.tree.reset_statistics()
+        self._evaluate(training=True)
+        whisker = self.tree.most_used()
+        if whisker is None:
+            return
+        self.tree.split_whisker(whisker)
+        self.state.splits += 1
+        self._notify(f"split most-used rule; tree now has {len(self.tree)} rules")
+
+
+def design_remycc(
+    config_range,
+    objective,
+    evaluator_settings=None,
+    optimizer_settings: Optional[OptimizerSettings] = None,
+    name: str = "remycc",
+    default_action: Optional[Action] = None,
+) -> tuple[WhiskerTree, OptimizerState]:
+    """Convenience wrapper: run the full Remy design phase and return the result."""
+    evaluator = Evaluator(config_range, objective, evaluator_settings)
+    tree = WhiskerTree(default_action=default_action, name=name)
+    optimizer = RemyOptimizer(evaluator, tree=tree, settings=optimizer_settings)
+    optimizer.optimize()
+    return optimizer.tree, optimizer.state

@@ -1,0 +1,148 @@
+"""The whisker tree: an octree of rules constituting one RemyCC (§4.3).
+
+The tree starts as a single rule covering the whole memory space with the
+default action.  The optimizer repeatedly improves the action of the
+most-used rule and, every K epochs, replaces the most-used rule with eight
+children splitting its memory region at the median triggering value.  Lookup
+walks the octree from the root; regions more likely to occur therefore end up
+with finer-grained actions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.core.action import Action
+from repro.core.memory import Memory, MemoryRange
+from repro.core.whisker import Whisker
+
+
+class _Node:
+    """Internal tree node: either a leaf holding a whisker or eight children."""
+
+    __slots__ = ("domain", "whisker", "children")
+
+    def __init__(self, domain: MemoryRange, whisker: Optional[Whisker] = None):
+        self.domain = domain
+        self.whisker = whisker
+        self.children: list["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.whisker is not None
+
+
+class WhiskerTree:
+    """A complete RemyCC: the mapping from memory values to actions."""
+
+    def __init__(self, default_action: Optional[Action] = None, name: str = "remycc"):
+        domain = MemoryRange.whole_space()
+        action = default_action if default_action is not None else Action.default()
+        self._root = _Node(domain, Whisker(domain=domain, action=action))
+        self.name = name
+
+    # ------------------------------------------------------------------ lookup
+    def find(self, memory: Memory) -> Whisker:
+        """Return the leaf whisker whose region contains ``memory``."""
+        memory = memory.clamped()
+        node = self._root
+        while not node.is_leaf:
+            for child in node.children:
+                if child.domain.contains(memory):
+                    node = child
+                    break
+            else:  # pragma: no cover - regions tile the space, so unreachable
+                raise RuntimeError(f"no child contains memory {memory}")
+        assert node.whisker is not None
+        return node.whisker
+
+    def use(self, memory: Memory) -> Action:
+        """Record a lookup (incrementing use counts) and return the action."""
+        return self.find(memory).use(memory)
+
+    def action_for(self, memory: Memory) -> Action:
+        """Return the action for ``memory`` without touching use counts."""
+        return self.find(memory).action
+
+    # ------------------------------------------------------------------ iteration
+    def _leaves(self, node: Optional[_Node] = None) -> Iterator[_Node]:
+        node = node if node is not None else self._root
+        if node.is_leaf:
+            yield node
+        else:
+            for child in node.children:
+                yield from self._leaves(child)
+
+    def whiskers(self) -> list[Whisker]:
+        """All leaf rules, in deterministic (depth-first) order."""
+        return [node.whisker for node in self._leaves() if node.whisker is not None]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._leaves())
+
+    def num_rules(self) -> int:
+        return len(self)
+
+    # ------------------------------------------------------------------ optimizer
+    def reset_statistics(self) -> None:
+        for whisker in self.whiskers():
+            whisker.reset_statistics()
+
+    def set_epoch(self, epoch: int) -> None:
+        """Mark every rule as belonging to ``epoch`` (§4.3 step 1)."""
+        for whisker in self.whiskers():
+            whisker.epoch = epoch
+
+    def most_used(self, epoch: Optional[int] = None) -> Optional[Whisker]:
+        """The most-used rule, optionally restricted to a given epoch.
+
+        Returns ``None`` when no rule in the epoch was used at all.
+        """
+        best: Optional[Whisker] = None
+        for whisker in self.whiskers():
+            if epoch is not None and whisker.epoch != epoch:
+                continue
+            if whisker.use_count <= 0:
+                continue
+            if best is None or whisker.use_count > best.use_count:
+                best = whisker
+        return best
+
+    def replace_action(self, whisker: Whisker, action: Action) -> None:
+        """Install ``action`` on the leaf currently holding ``whisker``."""
+        node = self._find_leaf_node(whisker)
+        assert node.whisker is not None
+        node.whisker.action = action
+
+    def split_whisker(self, whisker: Whisker) -> list[Whisker]:
+        """Replace ``whisker`` with eight children split at its median trigger."""
+        node = self._find_leaf_node(whisker)
+        children = whisker.split()
+        node.whisker = None
+        node.children = [_Node(child.domain, child) for child in children]
+        return children
+
+    def _find_leaf_node(self, whisker: Whisker) -> _Node:
+        for node in self._leaves():
+            if node.whisker is whisker:
+                return node
+        raise ValueError("whisker is not a leaf of this tree")
+
+    # ------------------------------------------------------------------ misc
+    def map_actions(self, transform: Callable[[Action], Action]) -> None:
+        """Apply a transformation to every rule's action (used in tests/ablations)."""
+        for whisker in self.whiskers():
+            whisker.action = transform(whisker.action)
+
+    def total_use_count(self) -> int:
+        return sum(whisker.use_count for whisker in self.whiskers())
+
+    def describe(self) -> str:
+        """Multi-line summary of every rule (ordered by use count)."""
+        lines = [f"RemyCC {self.name!r}: {len(self)} rules"]
+        for whisker in sorted(self.whiskers(), key=lambda w: -w.use_count):
+            lines.append("  " + whisker.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WhiskerTree(name={self.name!r}, rules={len(self)})"

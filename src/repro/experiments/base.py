@@ -1,0 +1,144 @@
+"""Shared infrastructure for the experiment harnesses.
+
+A :class:`SchemeSpec` bundles a congestion-control scheme with the bottleneck
+queue discipline it requires (Cubic-over-sfqCoDel needs the sfqCoDel gateway,
+XCP needs the XCP router, DCTCP needs the ECN-marking RED gateway; everything
+else runs over plain DropTail).  :func:`run_scheme` runs one scheme over a
+scenario several times with different seeds and folds every sender's
+(throughput, queueing delay) point into a :class:`SchemeSummary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.frontier import efficient_frontier
+from repro.analysis.summary import SchemeSummary, format_summary_table
+from repro.core.pretrained import pretrained_remycc
+from repro.core.whisker_tree import WhiskerTree
+from repro.netsim.network import NetworkSpec
+from repro.netsim.sender import Workload
+from repro.netsim.simulator import Simulation
+from repro.protocols.base import CongestionControl
+from repro.protocols.compound import CompoundTCP
+from repro.protocols.cubic import Cubic
+from repro.protocols.newreno import NewReno
+from repro.protocols.remycc import RemyCCProtocol
+from repro.protocols.vegas import Vegas
+from repro.protocols.xcp import XCP
+
+ProtocolFactory = Callable[[], CongestionControl]
+WorkloadFactory = Callable[[int], Workload]
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A named congestion-control scheme plus the router support it needs."""
+
+    name: str
+    protocol_factory: ProtocolFactory
+    #: Queue discipline the scheme runs over (None = keep the scenario's queue).
+    queue: Optional[str] = None
+
+    def make_protocols(self, n_flows: int) -> list[CongestionControl]:
+        return [self.protocol_factory() for _ in range(n_flows)]
+
+
+def remycc_scheme(tree_name: str, label: Optional[str] = None) -> SchemeSpec:
+    """A scheme running the named pretrained RemyCC over DropTail."""
+    tree = pretrained_remycc(tree_name)
+    label = label if label is not None else f"Remy {tree_name}"
+    return SchemeSpec(label, lambda t=tree: RemyCCProtocol(t), queue=None)
+
+
+def remycc_scheme_from_tree(tree: WhiskerTree, label: str) -> SchemeSpec:
+    """A scheme running an arbitrary (e.g. freshly optimized) rule table."""
+    return SchemeSpec(label, lambda t=tree: RemyCCProtocol(t), queue=None)
+
+
+def standard_schemes(
+    include_remy: bool = True,
+    remy_names: Sequence[str] = ("delta0.1", "delta1", "delta10"),
+) -> list[SchemeSpec]:
+    """The comparison set of Figures 4-9.
+
+    End-to-end schemes (NewReno, Vegas, Cubic, Compound) and the two schemes
+    that need in-network assistance (Cubic-over-sfqCoDel and XCP), plus the
+    three general-purpose RemyCCs.
+    """
+    schemes = [
+        SchemeSpec("NewReno", NewReno),
+        SchemeSpec("Vegas", Vegas),
+        SchemeSpec("Cubic", Cubic),
+        SchemeSpec("Compound", CompoundTCP),
+        SchemeSpec("Cubic/sfqCoDel", Cubic, queue="sfqcodel"),
+        SchemeSpec("XCP", XCP, queue="xcp"),
+    ]
+    if include_remy:
+        for name in remy_names:
+            schemes.append(remycc_scheme(name, label=f"Remy d={name.removeprefix('delta')}"))
+    return schemes
+
+
+def run_scheme(
+    scheme: SchemeSpec,
+    spec: NetworkSpec,
+    workload_factory: WorkloadFactory,
+    n_runs: int = 4,
+    duration: float = 30.0,
+    base_seed: int = 0,
+    max_events: Optional[int] = None,
+) -> SchemeSummary:
+    """Run ``scheme`` over the scenario ``n_runs`` times and summarise it."""
+    if n_runs <= 0:
+        raise ValueError("n_runs must be positive")
+    scenario_spec = replace(spec, queue=scheme.queue) if scheme.queue is not None else spec
+    summary = SchemeSummary(scheme.name)
+    for run_index in range(n_runs):
+        protocols = scheme.make_protocols(scenario_spec.n_flows)
+        workloads = [workload_factory(flow_id) for flow_id in range(scenario_spec.n_flows)]
+        simulation = Simulation(
+            scenario_spec,
+            protocols,
+            workloads,
+            duration=duration,
+            seed=base_seed * 10_007 + run_index,
+            max_events=max_events,
+        )
+        summary.add_result(simulation.run())
+    return summary
+
+
+@dataclass
+class ExperimentResult:
+    """Result of a figure-style experiment: one summary per scheme."""
+
+    name: str
+    summaries: dict[str, SchemeSummary] = field(default_factory=dict)
+    #: Free-form metadata (scenario parameters) recorded for EXPERIMENTS.md.
+    parameters: dict[str, object] = field(default_factory=dict)
+
+    def add(self, summary: SchemeSummary) -> None:
+        self.summaries[summary.scheme] = summary
+
+    def __getitem__(self, scheme: str) -> SchemeSummary:
+        return self.summaries[scheme]
+
+    def schemes(self) -> list[str]:
+        return list(self.summaries)
+
+    def frontier(self) -> list[SchemeSummary]:
+        """Schemes on the efficient (throughput vs queueing delay) frontier."""
+        return efficient_frontier(list(self.summaries.values()))
+
+    def frontier_names(self) -> list[str]:
+        return [summary.scheme for summary in self.frontier()]
+
+    def format_table(self) -> str:
+        ordered = sorted(
+            self.summaries.values(),
+            key=lambda s: s.median_throughput_mbps(),
+            reverse=True,
+        )
+        return f"== {self.name} ==\n" + format_summary_table(ordered)

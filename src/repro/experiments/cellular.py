@@ -1,0 +1,144 @@
+"""Figures 7, 8 and 9: trace-driven cellular (LTE) downlink experiments (§5.3).
+
+The bottleneck is a :class:`~repro.netsim.link.TraceDrivenLink` replaying a
+synthetic LTE-like delivery trace (see :mod:`repro.traces.cellular` and the
+substitution table in DESIGN.md), with a 50 ms baseline RTT and a
+1000-packet tail-drop buffer.  Senders alternate between exponentially
+distributed transfers (mean 100 kB) and exponentially distributed pauses
+(mean 0.5 s).  These scenarios probe "model mismatch": the general-purpose
+RemyCCs were designed for 10-20 Mbps fixed-rate links, not a 0-50 Mbps
+time-varying one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.base import (
+    ExperimentResult,
+    SchemeSpec,
+    run_scheme,
+    standard_schemes,
+)
+from repro.netsim.network import NetworkSpec
+from repro.traces.cellular import att_lte_trace, verizon_lte_trace
+from repro.traffic.onoff import ByteFlowWorkload
+
+
+def cellular_spec(
+    delivery_trace: Sequence[float],
+    n_flows: int,
+    rtt: float = 0.050,
+    buffer_packets: int = 1000,
+) -> NetworkSpec:
+    """Trace-driven bottleneck with the §5.3 parameters."""
+    return NetworkSpec(
+        link_rate_bps=15e6,  # nominal; ignored in favour of the trace
+        delivery_trace=list(delivery_trace),
+        rtt=rtt,
+        n_flows=n_flows,
+        queue="droptail",
+        buffer_packets=buffer_packets,
+    )
+
+
+def _run_cellular(
+    name: str,
+    delivery_trace: Sequence[float],
+    n_flows: int,
+    n_runs: int,
+    duration: float,
+    schemes: Optional[Sequence[SchemeSpec]],
+    base_seed: int,
+) -> ExperimentResult:
+    spec = cellular_spec(delivery_trace, n_flows)
+    schemes = list(schemes) if schemes is not None else standard_schemes()
+
+    def workload(_flow_id: int) -> ByteFlowWorkload:
+        return ByteFlowWorkload.exponential(mean_flow_bytes=100e3, mean_off_seconds=0.5)
+
+    result = ExperimentResult(
+        name=name,
+        parameters={
+            "n_flows": n_flows,
+            "rtt_seconds": 0.050,
+            "trace_packets": len(delivery_trace),
+            "n_runs": n_runs,
+            "duration": duration,
+        },
+    )
+    for scheme in schemes:
+        result.add(
+            run_scheme(
+                scheme,
+                spec,
+                workload,
+                n_runs=n_runs,
+                duration=duration,
+                base_seed=base_seed,
+            )
+        )
+    return result
+
+
+def run_figure7(
+    n_flows: int = 4,
+    n_runs: int = 2,
+    duration: float = 30.0,
+    schemes: Optional[Sequence[SchemeSpec]] = None,
+    trace_seed: int = 1,
+    base_seed: int = 71,
+) -> ExperimentResult:
+    """Figure 7: Verizon LTE downlink trace, n = 4 senders."""
+    trace = verizon_lte_trace(duration_seconds=duration, seed=trace_seed)
+    return _run_cellular(
+        f"Figure 7: Verizon LTE trace, n={n_flows}",
+        trace,
+        n_flows,
+        n_runs,
+        duration,
+        schemes,
+        base_seed,
+    )
+
+
+def run_figure8(
+    n_flows: int = 8,
+    n_runs: int = 2,
+    duration: float = 30.0,
+    schemes: Optional[Sequence[SchemeSpec]] = None,
+    trace_seed: int = 1,
+    base_seed: int = 72,
+) -> ExperimentResult:
+    """Figure 8: Verizon LTE downlink trace, n = 8 senders."""
+    trace = verizon_lte_trace(duration_seconds=duration, seed=trace_seed)
+    return _run_cellular(
+        f"Figure 8: Verizon LTE trace, n={n_flows}",
+        trace,
+        n_flows,
+        n_runs,
+        duration,
+        schemes,
+        base_seed,
+    )
+
+
+def run_figure9(
+    n_flows: int = 4,
+    n_runs: int = 2,
+    duration: float = 30.0,
+    schemes: Optional[Sequence[SchemeSpec]] = None,
+    trace_seed: int = 2,
+    base_seed: int = 73,
+) -> ExperimentResult:
+    """Figure 9: AT&T LTE downlink trace, n = 4 senders."""
+    trace = att_lte_trace(duration_seconds=duration, seed=trace_seed)
+    return _run_cellular(
+        f"Figure 9: AT&T LTE trace, n={n_flows}",
+        trace,
+        n_flows,
+        n_runs,
+        duration,
+        schemes,
+        base_seed,
+    )

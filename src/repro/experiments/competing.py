@@ -1,0 +1,145 @@
+"""§5.6: incremental deployment — a RemyCC competing with Compound or Cubic.
+
+A single 15 Mbps tail-drop bottleneck (150 ms baseline RTT) is shared by one
+RemyCC flow and one flow of an existing protocol, with no active queue
+management.  The RemyCC used here was designed for round-trip times between
+100 ms and 10 s so that it can tolerate a buffer-filling competitor.
+
+Two sweeps reproduce the paper's two tables:
+
+* versus **Compound**: ICSI flow lengths, sweeping the mean off time over
+  {200 ms, 100 ms, 10 ms} (the senders' duty cycle);
+* versus **Cubic**: exponential flow lengths of mean 100 kB and 1 MB with a
+  500 ms mean off time.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.pretrained import pretrained_remycc
+from repro.netsim.network import NetworkSpec
+from repro.netsim.simulator import Simulation
+from repro.protocols.base import CongestionControl
+from repro.protocols.compound import CompoundTCP
+from repro.protocols.cubic import Cubic
+from repro.protocols.remycc import RemyCCProtocol
+from repro.traffic.distributions import ExponentialDistribution
+from repro.traffic.flowsize import icsi_flow_length_distribution
+from repro.traffic.onoff import ByteFlowWorkload
+
+
+@dataclass
+class CompetingRow:
+    """Mean (and standard deviation) throughput of each contender in one setting."""
+
+    setting: str
+    remy_mean_mbps: float
+    remy_std_mbps: float
+    other_mean_mbps: float
+    other_std_mbps: float
+    other_name: str
+
+    def format(self) -> str:
+        return (
+            f"{self.setting:16s} RemyCC {self.remy_mean_mbps:5.2f} ({self.remy_std_mbps:.2f}) Mbps   "
+            f"{self.other_name} {self.other_mean_mbps:5.2f} ({self.other_std_mbps:.2f}) Mbps"
+        )
+
+
+@dataclass
+class CompetingResult:
+    """One §5.6 table: rows over the swept parameter."""
+
+    other_name: str
+    rows: list[CompetingRow] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        lines = [f"== Competing protocols: RemyCC vs {self.other_name} =="]
+        lines.extend(row.format() for row in self.rows)
+        return "\n".join(lines)
+
+
+def _competing_run(
+    other_factory,
+    other_name: str,
+    workload_factory,
+    setting: str,
+    n_runs: int,
+    duration: float,
+    base_seed: int,
+    remy_tree_name: str = "coexist",
+) -> CompetingRow:
+    spec = NetworkSpec(
+        link_rate_bps=15e6, rtt=0.150, n_flows=2, queue="droptail", buffer_packets=1000
+    )
+    tree = pretrained_remycc(remy_tree_name)
+    remy_tputs, other_tputs = [], []
+    for run_index in range(n_runs):
+        protocols: list[CongestionControl] = [RemyCCProtocol(tree), other_factory()]
+        workloads = [workload_factory(), workload_factory()]
+        sim = Simulation(
+            spec, protocols, workloads, duration=duration, seed=base_seed * 31 + run_index
+        )
+        result = sim.run()
+        remy_tputs.append(result.flow_stats[0].throughput_mbps())
+        other_tputs.append(result.flow_stats[1].throughput_mbps())
+    return CompetingRow(
+        setting=setting,
+        remy_mean_mbps=statistics.fmean(remy_tputs),
+        remy_std_mbps=statistics.stdev(remy_tputs) if len(remy_tputs) > 1 else 0.0,
+        other_mean_mbps=statistics.fmean(other_tputs),
+        other_std_mbps=statistics.stdev(other_tputs) if len(other_tputs) > 1 else 0.0,
+        other_name=other_name,
+    )
+
+
+def run_vs_compound(
+    off_times_seconds: tuple[float, ...] = (0.200, 0.100, 0.010),
+    n_runs: int = 3,
+    duration: float = 30.0,
+    max_flow_bytes: float = 20e6,
+    base_seed: int = 61,
+) -> CompetingResult:
+    """RemyCC vs Compound: ICSI flow lengths, sweeping the mean off time."""
+    flow_sizes = icsi_flow_length_distribution(maximum_bytes=max_flow_bytes)
+    result = CompetingResult(other_name="Compound")
+    for off in off_times_seconds:
+        row = _competing_run(
+            CompoundTCP,
+            "Compound",
+            lambda off=off: ByteFlowWorkload(flow_size=flow_sizes, mean_off_seconds=off),
+            setting=f"off={off * 1000:.0f} ms",
+            n_runs=n_runs,
+            duration=duration,
+            base_seed=base_seed,
+        )
+        result.rows.append(row)
+    return result
+
+
+def run_vs_cubic(
+    mean_flow_bytes: tuple[float, ...] = (100e3, 1e6),
+    mean_off_seconds: float = 0.5,
+    n_runs: int = 3,
+    duration: float = 30.0,
+    base_seed: int = 62,
+) -> CompetingResult:
+    """RemyCC vs Cubic: exponential flow lengths of mean 100 kB and 1 MB."""
+    result = CompetingResult(other_name="Cubic")
+    for mean_bytes in mean_flow_bytes:
+        row = _competing_run(
+            Cubic,
+            "Cubic",
+            lambda mb=mean_bytes: ByteFlowWorkload(
+                flow_size=ExponentialDistribution(mb), mean_off_seconds=mean_off_seconds
+            ),
+            setting=f"mean={mean_bytes / 1e3:.0f} kB",
+            n_runs=n_runs,
+            duration=duration,
+            base_seed=base_seed,
+        )
+        result.rows.append(row)
+    return result

@@ -1,0 +1,86 @@
+"""§1 summary tables: median speedup and delay reduction of a RemyCC.
+
+The paper's introduction condenses two experiments into tables of, for each
+existing protocol, the RemyCC's median-throughput speedup and median
+queueing-delay reduction:
+
+* the 15 Mbps dumbbell with eight senders (the Figure 4 scenario), and
+* the Verizon LTE downlink trace with four senders (the Figure 7 scenario).
+
+These harnesses simply run the corresponding figure experiment and convert
+its summaries into :class:`~repro.analysis.compare.SpeedupRow` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.compare import SpeedupRow, format_speedup_table, speedup_table
+from repro.experiments.base import ExperimentResult, SchemeSpec, standard_schemes
+from repro.experiments.cellular import run_figure7
+from repro.experiments.dumbbell import run_figure4
+
+#: The baselines named in the §1 tables, in the paper's order.
+SUMMARY_BASELINES = ("Compound", "NewReno", "Cubic", "Vegas", "Cubic/sfqCoDel", "XCP")
+
+
+@dataclass
+class SummaryTable:
+    """One §1-style table: the experiment it came from plus the speedup rows."""
+
+    name: str
+    remycc: str
+    rows: list[SpeedupRow] = field(default_factory=list)
+    experiment: Optional[ExperimentResult] = None
+
+    def row_for(self, baseline: str) -> SpeedupRow:
+        for row in self.rows:
+            if row.baseline == baseline:
+                return row
+        raise KeyError(baseline)
+
+    def format(self) -> str:
+        return f"== {self.name} ==\n" + format_speedup_table(self.rows, remycc_name=self.remycc)
+
+
+def _build_table(
+    name: str,
+    experiment: ExperimentResult,
+    remy_scheme: str,
+    baselines: Sequence[str] = SUMMARY_BASELINES,
+) -> SummaryTable:
+    remy_summary = experiment[remy_scheme]
+    baseline_summaries = [experiment[b] for b in baselines if b in experiment.summaries]
+    rows = speedup_table(remy_summary, baseline_summaries)
+    return SummaryTable(name=name, remycc=remy_scheme, rows=rows, experiment=experiment)
+
+
+def run_dumbbell_summary(
+    n_runs: int = 4,
+    duration: float = 30.0,
+    remy_scheme: str = "Remy d=0.1",
+    schemes: Optional[Sequence[SchemeSpec]] = None,
+) -> SummaryTable:
+    """The first §1 table: dumbbell, 15 Mbps, eight senders."""
+    experiment = run_figure4(n_runs=n_runs, duration=duration, schemes=schemes)
+    return _build_table(
+        "Summary: 15 Mbps dumbbell, n=8 (speedup vs existing protocols)",
+        experiment,
+        remy_scheme,
+    )
+
+
+def run_lte_summary(
+    n_runs: int = 2,
+    duration: float = 30.0,
+    remy_scheme: str = "Remy d=0.1",
+    schemes: Optional[Sequence[SchemeSpec]] = None,
+) -> SummaryTable:
+    """The second §1 table: Verizon LTE downlink trace, four senders."""
+    experiment = run_figure7(n_runs=n_runs, duration=duration, schemes=schemes)
+    return _build_table(
+        "Summary: Verizon LTE downlink, n=4 (speedup vs existing protocols)",
+        experiment,
+        remy_scheme,
+    )

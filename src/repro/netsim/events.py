@@ -1,0 +1,149 @@
+"""Event scheduler for the discrete-event simulator.
+
+The scheduler is a binary heap of ``(time, sequence, event)`` entries.  The
+monotonically increasing sequence number makes ordering deterministic when
+two events share the same timestamp, which in turn makes every simulation
+reproducible for a given random seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is driven into an inconsistent state."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`EventScheduler.schedule` and can be
+    cancelled.  Cancellation is lazy: the entry stays in the heap but is
+    skipped when popped.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when due."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, {name}, {state})"
+
+
+class EventScheduler:
+    """Priority-queue event scheduler with deterministic tie-breaking."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._heap: list[_HeapEntry] = []
+        self._counter = itertools.count()
+        self._now = float(start_time)
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of (possibly cancelled) events still queued."""
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    def schedule(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run at absolute ``time``.
+
+        Scheduling in the past is an error; scheduling exactly at ``now`` is
+        allowed and runs after currently executing events.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at t={time:.9f} before now={self._now:.9f}"
+            )
+        event = Event(max(time, self._now), callback, args)
+        heapq.heappush(self._heap, _HeapEntry(event.time, next(self._counter), event))
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule(self._now + delay, callback, *args)
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next pending event, or ``None``."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns ``False`` if none remain."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        entry = heapq.heappop(self._heap)
+        self._now = entry.time
+        self._processed += 1
+        entry.event.callback(*entry.event.args)
+        return True
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Run events until ``end_time`` (inclusive) or the queue drains.
+
+        Returns the number of events executed.  ``max_events`` guards against
+        runaway simulations (e.g. a protocol bug producing an event storm).
+        """
+        executed = 0
+        while True:
+            self._drop_cancelled()
+            if not self._heap:
+                break
+            if self._heap[0].time > end_time:
+                break
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} before reaching t={end_time}"
+                )
+            self.step()
+            executed += 1
+        self._now = max(self._now, end_time)
+        return executed
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue is empty.  Returns events executed."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        return executed

@@ -1,0 +1,195 @@
+"""Bottleneck links: constant-rate and trace-driven (cellular).
+
+A link owns a queue discipline and a propagation delay.  Arriving packets are
+offered to the queue; the link serializes packets at its transmission rate
+(constant-rate links) or at trace-defined delivery instants (trace-driven
+links, modelling a time-varying cellular downlink) and hands each transmitted
+packet to a delivery callback after the propagation delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.netsim.events import EventScheduler
+from repro.netsim.packet import Packet
+from repro.netsim.queue import DropTailQueue, QueueDiscipline
+
+DeliverFn = Callable[[Packet], None]
+DelayObserver = Callable[[Packet, float], None]
+
+
+class LinkBase:
+    """Shared bookkeeping for all link types."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        queue: Optional[QueueDiscipline] = None,
+        propagation_delay: float = 0.0,
+        name: str = "link",
+    ):
+        self.scheduler = scheduler
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.propagation_delay = propagation_delay
+        self.name = name
+        self.deliver: Optional[DeliverFn] = None
+        #: Optional callback invoked with (packet, queueing_delay_seconds)
+        #: whenever a packet leaves the queue; used for delay statistics.
+        self.delay_observer: Optional[DelayObserver] = None
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+
+    # -- wiring --------------------------------------------------------------
+    def connect(self, deliver: DeliverFn) -> None:
+        """Set the callback that receives packets at the far end of the link."""
+        self.deliver = deliver
+
+    # -- helpers -------------------------------------------------------------
+    def _observe_wait(self, packet: Packet) -> None:
+        """Report how long the packet waited in the queue (excludes its own
+        serialization time) to the delay observer, if any."""
+        if self.delay_observer is not None:
+            self.delay_observer(packet, max(0.0, self.scheduler.now - packet.enqueue_time))
+
+    def _emit(self, packet: Packet) -> None:
+        """Record a departure and schedule arrival at the far end."""
+        if self.deliver is None:
+            raise RuntimeError(f"{self.name}: deliver callback not connected")
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size_bytes
+        if self.propagation_delay > 0:
+            self.scheduler.schedule_after(self.propagation_delay, self.deliver, packet)
+        else:
+            self.deliver(packet)
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantRateLink(LinkBase):
+    """A fixed-rate link that serializes packets at ``rate_bps`` bits/second."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rate_bps: float,
+        queue: Optional[QueueDiscipline] = None,
+        propagation_delay: float = 0.0,
+        name: str = "link",
+    ):
+        super().__init__(scheduler, queue, propagation_delay, name)
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        self.rate_bps = rate_bps
+        self._busy = False
+
+    @property
+    def rate_pps(self) -> float:
+        """Nominal rate in 1500-byte packets per second (used by XCP)."""
+        return self.rate_bps / (1500 * 8)
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Time to serialize ``packet`` onto the wire."""
+        return packet.size_bytes * 8 / self.rate_bps
+
+    def receive(self, packet: Packet) -> None:
+        """Packet arrives at the head of the link (from a sender or node)."""
+        accepted = self.queue.enqueue(packet, self.scheduler.now)
+        if accepted and not self._busy:
+            self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue(self.scheduler.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._observe_wait(packet)
+        self._busy = True
+        self.scheduler.schedule_after(
+            self.transmission_time(packet), self._finish_transmission, packet
+        )
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self._emit(packet)
+        self._start_transmission()
+
+
+class TraceDrivenLink(LinkBase):
+    """A link whose delivery opportunities come from a timestamp trace.
+
+    The paper replays measured Verizon/AT&T LTE downlink traces: packets are
+    queued by the network until the instant the trace says a packet was
+    delivered, at which point exactly one MTU-sized packet may leave.  This
+    class reproduces that behaviour from a sequence of delivery timestamps
+    (seconds, ascending).  If the simulation outlasts the trace, the trace is
+    repeated with a time offset (``cyclic=True``, the default).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        delivery_times: Sequence[float],
+        queue: Optional[QueueDiscipline] = None,
+        propagation_delay: float = 0.0,
+        cyclic: bool = True,
+        name: str = "trace-link",
+    ):
+        super().__init__(scheduler, queue, propagation_delay, name)
+        if len(delivery_times) == 0:
+            raise ValueError("delivery_times must not be empty")
+        times = list(delivery_times)
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("delivery_times must be non-decreasing")
+        self.delivery_times = times
+        self.cyclic = cyclic
+        self._index = 0
+        self._cycle_offset = 0.0
+        self._started = False
+        self.wasted_opportunities = 0
+
+    def start(self) -> None:
+        """Begin scheduling delivery opportunities (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._schedule_next_opportunity()
+
+    def _next_opportunity_time(self) -> Optional[float]:
+        if self._index >= len(self.delivery_times):
+            if not self.cyclic:
+                return None
+            span = self.delivery_times[-1] - self.delivery_times[0]
+            # Guard against zero-length traces looping at the same instant.
+            self._cycle_offset += max(span, 1e-3)
+            self._index = 0
+        return self._cycle_offset + self.delivery_times[self._index]
+
+    def _schedule_next_opportunity(self) -> None:
+        when = self._next_opportunity_time()
+        if when is None:
+            return
+        when = max(when, self.scheduler.now)
+        self.scheduler.schedule(when, self._opportunity)
+
+    def _opportunity(self) -> None:
+        self._index += 1
+        packet = self.queue.dequeue(self.scheduler.now)
+        if packet is None:
+            self.wasted_opportunities += 1
+        else:
+            self._observe_wait(packet)
+            self._emit(packet)
+        self._schedule_next_opportunity()
+
+    def receive(self, packet: Packet) -> None:
+        self.start()
+        self.queue.enqueue(packet, self.scheduler.now)
+
+    @property
+    def mean_rate_bps(self) -> float:
+        """Long-term average delivery rate implied by the trace (for XCP)."""
+        span = self.delivery_times[-1] - self.delivery_times[0]
+        if span <= 0:
+            return float("inf")
+        return (len(self.delivery_times) - 1) * 1500 * 8 / span

@@ -1,0 +1,241 @@
+"""Topology construction: the dumbbell network of Figure 2.
+
+A :class:`NetworkSpec` describes the bottleneck (rate or trace, queue
+discipline, buffer, per-flow round-trip times); :class:`DumbbellNetwork`
+instantiates the bottleneck link and wires each sender-receiver pair through
+it.  All data packets share the single bottleneck queue in the forward
+direction; acknowledgments return over an uncongested path, as in the paper's
+single-bottleneck evaluation topologies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from repro.netsim.aqm import CoDelQueue, REDQueue
+from repro.netsim.events import EventScheduler
+from repro.netsim.link import ConstantRateLink, LinkBase, TraceDrivenLink
+from repro.netsim.packet import Packet
+from repro.netsim.queue import DropTailQueue, InfiniteQueue, QueueDiscipline
+from repro.netsim.receiver import Receiver
+from repro.netsim.sender import Sender
+from repro.netsim.sfq import SfqCoDelQueue
+from repro.netsim.stats import FlowStats
+
+QueueFactory = Callable[[], QueueDiscipline]
+
+#: Built-in queue discipline names accepted by :class:`NetworkSpec`.
+QUEUE_KINDS = ("droptail", "infinite", "codel", "sfqcodel", "red", "red-dctcp", "xcp")
+
+
+@dataclass
+class NetworkSpec:
+    """Parameters of a single-bottleneck (dumbbell) network.
+
+    Parameters
+    ----------
+    link_rate_bps:
+        Bottleneck rate in bits/second (ignored when ``delivery_trace`` is set).
+    rtt:
+        Baseline round-trip propagation delay in seconds.  Either a scalar
+        applied to every flow or a per-flow sequence (Figure 10 uses
+        different RTTs per flow).
+    n_flows:
+        Number of sender-receiver pairs sharing the bottleneck.
+    queue:
+        Queue discipline name (one of :data:`QUEUE_KINDS`) or a factory
+        returning a :class:`~repro.netsim.queue.QueueDiscipline`.
+    buffer_packets:
+        Bottleneck buffer size in packets (ignored for ``infinite``).
+    delivery_trace:
+        Optional sequence of packet-delivery timestamps; when given, the
+        bottleneck is a :class:`~repro.netsim.link.TraceDrivenLink` replaying
+        a cellular trace instead of a constant-rate link.
+    mss_bytes:
+        Data segment size.
+    """
+
+    link_rate_bps: float = 15e6
+    rtt: Union[float, Sequence[float]] = 0.150
+    n_flows: int = 2
+    queue: Union[str, QueueFactory] = "droptail"
+    buffer_packets: int = 1000
+    delivery_trace: Optional[Sequence[float]] = None
+    mss_bytes: int = 1500
+    #: CoDel / RED parameters, consulted only by the relevant queue kinds.
+    codel_target: float = 0.005
+    codel_interval: float = 0.100
+    red_min_thresh: float = 20.0
+    red_max_thresh: float = 60.0
+    dctcp_marking_threshold: float = 65.0
+
+    def __post_init__(self) -> None:
+        if self.n_flows <= 0:
+            raise ValueError("n_flows must be positive")
+        if self.link_rate_bps <= 0 and self.delivery_trace is None:
+            raise ValueError("link_rate_bps must be positive")
+        if self.buffer_packets <= 0:
+            raise ValueError("buffer_packets must be positive")
+        if isinstance(self.queue, str) and self.queue not in QUEUE_KINDS:
+            raise ValueError(f"unknown queue kind {self.queue!r}; expected one of {QUEUE_KINDS}")
+
+    def rtt_for_flow(self, flow_id: int) -> float:
+        """Baseline RTT for a given flow (supports per-flow RTT sequences)."""
+        if isinstance(self.rtt, (int, float)):
+            return float(self.rtt)
+        rtts = list(self.rtt)
+        if len(rtts) < self.n_flows:
+            raise ValueError(
+                f"rtt sequence has {len(rtts)} entries but the spec has {self.n_flows} flows"
+            )
+        return float(rtts[flow_id])
+
+    def bandwidth_delay_product_packets(self, flow_id: int = 0) -> float:
+        """Bandwidth-delay product in packets (useful for sanity checks)."""
+        return self.link_rate_bps * self.rtt_for_flow(flow_id) / (self.mss_bytes * 8)
+
+    def make_queue(self, rng: Optional[random.Random] = None) -> QueueDiscipline:
+        """Instantiate the configured queue discipline."""
+        if callable(self.queue):
+            return self.queue()
+        kind = self.queue
+        if kind == "droptail":
+            return DropTailQueue(capacity_packets=self.buffer_packets)
+        if kind == "infinite":
+            return InfiniteQueue()
+        if kind == "codel":
+            return CoDelQueue(
+                capacity_packets=self.buffer_packets,
+                target=self.codel_target,
+                interval=self.codel_interval,
+            )
+        if kind == "sfqcodel":
+            return SfqCoDelQueue(
+                capacity_packets=self.buffer_packets,
+                target=self.codel_target,
+                interval=self.codel_interval,
+            )
+        if kind == "red":
+            return REDQueue(
+                capacity_packets=self.buffer_packets,
+                min_thresh=self.red_min_thresh,
+                max_thresh=self.red_max_thresh,
+                rng=rng,
+            )
+        if kind == "red-dctcp":
+            return REDQueue(
+                capacity_packets=self.buffer_packets,
+                min_thresh=self.dctcp_marking_threshold,
+                max_thresh=self.dctcp_marking_threshold + 1,
+                dctcp_mode=True,
+                ecn=True,
+                rng=rng,
+            )
+        if kind == "xcp":
+            # Imported lazily: protocols depend on netsim, not the reverse.
+            from repro.protocols.xcp import XCPRouterQueue
+
+            mean_rtt = (
+                self.rtt_for_flow(0)
+                if isinstance(self.rtt, (int, float))
+                else sum(self.rtt) / len(list(self.rtt))
+            )
+            return XCPRouterQueue(
+                capacity_packets=self.buffer_packets,
+                link_rate_bps=self.effective_rate_bps(),
+                control_interval=max(mean_rtt, 0.01),
+            )
+        raise ValueError(f"unknown queue kind {kind!r}")
+
+    def effective_rate_bps(self) -> float:
+        """Bottleneck rate: the constant rate, or the trace's long-term mean."""
+        if self.delivery_trace is None:
+            return self.link_rate_bps
+        times = list(self.delivery_trace)
+        span = times[-1] - times[0]
+        if span <= 0:
+            return self.link_rate_bps
+        return (len(times) - 1) * self.mss_bytes * 8 / span
+
+
+@dataclass
+class FlowEndpoints:
+    """The pieces that make up one attached flow."""
+
+    sender: Sender
+    receiver: Receiver
+    stats: FlowStats
+    rtt: float
+
+
+class DumbbellNetwork:
+    """A single shared bottleneck with per-flow propagation delays."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        spec: NetworkSpec,
+        rng: Optional[random.Random] = None,
+    ):
+        self.scheduler = scheduler
+        self.spec = spec
+        self.rng = rng if rng is not None else random.Random(0)
+        queue = spec.make_queue(self.rng)
+        self.bottleneck: LinkBase
+        if spec.delivery_trace is not None:
+            self.bottleneck = TraceDrivenLink(
+                scheduler,
+                delivery_times=spec.delivery_trace,
+                queue=queue,
+                propagation_delay=0.0,
+                name="bottleneck",
+            )
+        else:
+            self.bottleneck = ConstantRateLink(
+                scheduler,
+                rate_bps=spec.link_rate_bps,
+                queue=queue,
+                propagation_delay=0.0,
+                name="bottleneck",
+            )
+        self.bottleneck.connect(self._deliver_data)
+        self.bottleneck.delay_observer = self._observe_queue_delay
+        self.flows: dict[int, FlowEndpoints] = {}
+
+    # -- flow attachment -------------------------------------------------------
+    def attach_flow(self, flow_id: int, sender: Sender, receiver: Receiver) -> FlowEndpoints:
+        """Wire a sender/receiver pair through the bottleneck."""
+        if flow_id in self.flows:
+            raise ValueError(f"flow {flow_id} already attached")
+        rtt = self.spec.rtt_for_flow(flow_id)
+        endpoints = FlowEndpoints(sender=sender, receiver=receiver, stats=sender.stats, rtt=rtt)
+        sender.connect(self.bottleneck.receive)
+        receiver.connect(lambda ack, fid=flow_id: self._return_ack(fid, ack))
+        self.flows[flow_id] = endpoints
+        return endpoints
+
+    # -- packet plumbing -------------------------------------------------------
+    def _deliver_data(self, packet: Packet) -> None:
+        endpoints = self.flows.get(packet.flow_id)
+        if endpoints is None:
+            return  # packet from a detached flow (should not happen)
+        one_way = endpoints.rtt / 2
+        self.scheduler.schedule_after(one_way, endpoints.receiver.on_packet, packet)
+
+    def _return_ack(self, flow_id: int, ack: Packet) -> None:
+        endpoints = self.flows[flow_id]
+        one_way = endpoints.rtt / 2
+        self.scheduler.schedule_after(one_way, endpoints.sender.on_ack, ack)
+
+    def _observe_queue_delay(self, packet: Packet, delay: float) -> None:
+        endpoints = self.flows.get(packet.flow_id)
+        if endpoints is not None:
+            endpoints.stats.record_queue_delay(delay)
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def queue(self) -> QueueDiscipline:
+        """The bottleneck queue discipline (for drop/mark statistics)."""
+        return self.bottleneck.queue

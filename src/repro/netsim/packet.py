@@ -1,0 +1,159 @@
+"""Packet and acknowledgment metadata.
+
+Packets are plain mutable objects (``__slots__`` for speed) rather than
+frozen dataclasses: routers stamp XCP feedback and ECN marks into them and
+receivers echo fields back in acknowledgments, exactly as header fields are
+rewritten in a real network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Default data segment size in bytes (Ethernet MTU payload, as in ns-2 runs).
+DATA_PACKET_BYTES = 1500
+
+#: Default acknowledgment size in bytes.
+ACK_PACKET_BYTES = 40
+
+
+class Packet:
+    """A data packet or acknowledgment travelling through the simulator.
+
+    Attributes
+    ----------
+    flow_id:
+        Index of the sending flow.
+    seq:
+        Sequence number of the data segment (segments, not bytes).
+    size_bytes:
+        Wire size of the packet.
+    sent_time:
+        Sender timestamp at (re)transmission; echoed by the receiver.
+    first_sent_time:
+        Sender timestamp of the segment's *first* transmission (Karn's
+        algorithm: retransmitted segments do not update RTT estimates).
+    is_ack:
+        True for acknowledgments flowing back to the sender.
+    ack_seq:
+        Cumulative acknowledgment — highest in-order segment received + 1.
+    sacked_seq:
+        The specific segment whose arrival generated this ACK.
+    echo_sent_time:
+        The data packet's ``sent_time`` echoed back to the sender.
+    ecn_capable / ecn_marked / ecn_echo:
+        Explicit Congestion Notification bits (used by DCTCP/RED).
+    retransmit:
+        True if this transmission is a retransmission.
+    enqueue_time:
+        Stamped by queues on arrival; used by CoDel for sojourn time.
+    xcp_*:
+        XCP congestion header: sender's current cwnd (packets), RTT estimate
+        (seconds), demand (requested throughput change, packets/s) and the
+        router-computed feedback (change in packets per ACK, may be negative).
+    """
+
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "size_bytes",
+        "sent_time",
+        "first_sent_time",
+        "is_ack",
+        "ack_seq",
+        "sacked_seq",
+        "echo_sent_time",
+        "ecn_capable",
+        "ecn_marked",
+        "ecn_echo",
+        "retransmit",
+        "enqueue_time",
+        "xcp_cwnd",
+        "xcp_rtt",
+        "xcp_demand",
+        "xcp_feedback",
+        "receiver_time",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        seq: int,
+        size_bytes: int = DATA_PACKET_BYTES,
+        sent_time: float = 0.0,
+        is_ack: bool = False,
+    ):
+        self.flow_id = flow_id
+        self.seq = seq
+        self.size_bytes = size_bytes
+        self.sent_time = sent_time
+        self.first_sent_time = sent_time
+        self.is_ack = is_ack
+        self.ack_seq = -1
+        self.sacked_seq = -1
+        self.echo_sent_time = 0.0
+        self.ecn_capable = False
+        self.ecn_marked = False
+        self.ecn_echo = False
+        self.retransmit = False
+        self.enqueue_time = 0.0
+        self.xcp_cwnd = 0.0
+        self.xcp_rtt = 0.0
+        self.xcp_demand = 0.0
+        self.xcp_feedback = 0.0
+        self.receiver_time = 0.0
+
+    def make_ack(self, ack_seq: int, receiver_time: float, size_bytes: int = ACK_PACKET_BYTES) -> "Packet":
+        """Build the acknowledgment for this data packet."""
+        ack = Packet(self.flow_id, self.seq, size_bytes=size_bytes, is_ack=True)
+        ack.ack_seq = ack_seq
+        ack.sacked_seq = self.seq
+        ack.echo_sent_time = self.sent_time
+        ack.sent_time = receiver_time
+        ack.first_sent_time = self.first_sent_time
+        ack.receiver_time = receiver_time
+        ack.ecn_echo = self.ecn_marked
+        ack.retransmit = self.retransmit
+        # Echo the XCP header so the sender learns the router feedback.
+        ack.xcp_cwnd = self.xcp_cwnd
+        ack.xcp_rtt = self.xcp_rtt
+        ack.xcp_demand = self.xcp_demand
+        ack.xcp_feedback = self.xcp_feedback
+        return ack
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ACK" if self.is_ack else "DATA"
+        return f"Packet({kind} flow={self.flow_id} seq={self.seq} bytes={self.size_bytes})"
+
+
+@dataclass(frozen=True)
+class AckInfo:
+    """Digest of an acknowledgment handed to a congestion-control module.
+
+    All times are absolute simulation seconds unless stated otherwise.
+    """
+
+    now: float
+    #: Segment whose arrival produced this ACK.
+    acked_seq: int
+    #: Cumulative acknowledgment (next expected segment).
+    cumulative_ack: int
+    #: Bytes newly acknowledged by this ACK (0 for duplicate ACKs).
+    newly_acked_bytes: int
+    #: Round-trip time measured from this ACK (None for retransmitted segments).
+    rtt: Optional[float]
+    #: Minimum RTT observed on the connection so far.
+    min_rtt: Optional[float]
+    #: Sender timestamp echoed by the receiver (time the data packet left).
+    echo_sent_time: float
+    #: Receiver timestamp when the data packet arrived.
+    receiver_time: float
+    #: True if the receiver echoed an ECN congestion-experienced mark.
+    ecn_echo: bool = False
+    #: Number of packets currently in flight (after accounting this ACK).
+    in_flight: int = 0
+    #: XCP feedback echoed from the router (change in cwnd, packets).
+    xcp_feedback: float = 0.0
+    #: True if this ACK is a duplicate (no new data acknowledged).
+    is_duplicate: bool = False

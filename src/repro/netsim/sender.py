@@ -1,0 +1,440 @@
+"""Sender endpoint: the reliable-transport harness hosting a congestion-control module.
+
+The sender owns everything the paper's ns-2 TCP agents own *except* the
+congestion-control law itself: sequencing, round-trip-time estimation, loss
+detection via duplicate ACKs, retransmission timeouts, pacing, and the on/off
+workload process that models users arriving and leaving (§3.2).  The hosted
+:class:`repro.protocols.base.CongestionControl` object only dictates the
+congestion window and (for RemyCC) a minimum interval between transmissions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.netsim.events import Event, EventScheduler
+from repro.netsim.packet import AckInfo, Packet
+from repro.netsim.stats import FlowStats
+
+if TYPE_CHECKING:  # imported only for type annotations; avoids a package cycle
+    from repro.protocols.base import CongestionControl
+
+TransmitFn = Callable[[Packet], None]
+
+#: Number of duplicate ACKs that triggers fast retransmit.
+DUPACK_THRESHOLD = 3
+
+#: Lower bound on the retransmission timeout (seconds).  The classic 1 s
+#: minimum would leave simulated links idle for very long stretches relative
+#: to the short experiment durations used here, so we follow modern stacks
+#: (Linux uses 200 ms).
+MIN_RTO = 0.2
+
+#: Upper bound on the retransmission timeout (seconds).
+MAX_RTO = 60.0
+
+
+@dataclass
+class FlowDemand:
+    """How much a single "on" period wants to transfer.
+
+    Exactly one of ``size_bytes`` (transfer that many bytes, then stop) or
+    ``duration`` (stay on for this many seconds, as fast as the protocol
+    allows) should be set.  ``duration=math.inf`` models an always-on source.
+    """
+
+    size_bytes: Optional[int] = None
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.size_bytes is None) == (self.duration is None):
+            raise ValueError("exactly one of size_bytes or duration must be set")
+        if self.size_bytes is not None and self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+
+class Workload:
+    """Interface for on/off switching processes (see :mod:`repro.traffic.onoff`)."""
+
+    def first_on_delay(self, rng: random.Random) -> float:
+        """Seconds from simulation start until the source first switches on."""
+        return 0.0
+
+    def next_off_duration(self, rng: random.Random) -> float:
+        """Seconds the source stays off between flows."""
+        raise NotImplementedError
+
+    def next_flow(self, rng: random.Random) -> FlowDemand:
+        """Demand for the next "on" period."""
+        raise NotImplementedError
+
+
+class AlwaysOnWorkload(Workload):
+    """A source that switches on at ``start_delay`` and never stops."""
+
+    def __init__(self, start_delay: float = 0.0):
+        if start_delay < 0:
+            raise ValueError("start_delay cannot be negative")
+        self.start_delay = start_delay
+
+    def first_on_delay(self, rng: random.Random) -> float:
+        return self.start_delay
+
+    def next_off_duration(self, rng: random.Random) -> float:
+        return math.inf
+
+    def next_flow(self, rng: random.Random) -> FlowDemand:
+        return FlowDemand(duration=math.inf)
+
+
+@dataclass
+class _SentInfo:
+    sent_time: float
+    first_sent_time: float
+    retransmitted: bool
+    size_bytes: int
+
+
+class Sender:
+    """Sending endpoint for a single flow."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        scheduler: EventScheduler,
+        cc: "CongestionControl",
+        transmit: Optional[TransmitFn] = None,
+        workload: Optional[Workload] = None,
+        stats: Optional[FlowStats] = None,
+        mss_bytes: int = 1500,
+        rng: Optional[random.Random] = None,
+        trace_sequence: bool = False,
+    ):
+        self.flow_id = flow_id
+        self.scheduler = scheduler
+        self.cc = cc
+        self.transmit = transmit
+        self.workload = workload if workload is not None else AlwaysOnWorkload()
+        self.stats = stats if stats is not None else FlowStats(flow_id)
+        self.mss_bytes = mss_bytes
+        self.rng = rng if rng is not None else random.Random(flow_id)
+        self.trace_sequence = trace_sequence
+
+        # Transport state.
+        self.state = "idle"  # idle -> off/on cycles
+        self.next_seq = 0
+        self.in_flight: dict[int, _SentInfo] = {}
+        self.retransmit_queue: list[int] = []
+        self.highest_cum_ack = 0
+        self.dup_count = 0
+        self.in_recovery = False
+        self.recovery_point = -1
+        self.last_send_time = -math.inf
+
+        # RTT estimation (RFC 6298 style).
+        self.min_rtt: Optional[float] = None
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.rto = 1.0
+
+        # Workload bookkeeping.
+        self.segments_remaining: Optional[int] = None
+        self.on_start_time = 0.0
+        self._on_until_event: Optional[Event] = None
+        self._rto_event: Optional[Event] = None
+        self._pacing_event: Optional[Event] = None
+        self._switch_event: Optional[Event] = None
+
+    # ------------------------------------------------------------------ wiring
+    def connect(self, transmit: TransmitFn) -> None:
+        """Set the callback that pushes data packets into the network."""
+        self.transmit = transmit
+
+    # ------------------------------------------------------------------ control
+    def start(self) -> None:
+        """Begin the on/off process (call once, at simulation start)."""
+        if self.state != "idle":
+            raise RuntimeError("sender already started")
+        self.state = "off"
+        delay = self.workload.first_on_delay(self.rng)
+        self._switch_event = self.scheduler.schedule_after(delay, self._switch_on)
+
+    def finalize(self, end_time: float) -> None:
+        """Close the books at the end of the simulation."""
+        if self.state == "on":
+            self.stats.record_on_time(end_time - self.on_start_time)
+            self.state = "off"
+
+    @property
+    def is_on(self) -> bool:
+        return self.state == "on"
+
+    @property
+    def effective_window(self) -> float:
+        """Window used for admission: never below one packet to avoid deadlock."""
+        return max(1.0, self.cc.window)
+
+    # ------------------------------------------------------------------ on/off
+    def _switch_on(self) -> None:
+        now = self.scheduler.now
+        self.state = "on"
+        self.on_start_time = now
+        self.in_flight.clear()
+        self.retransmit_queue.clear()
+        self.dup_count = 0
+        self.in_recovery = False
+        self.min_rtt = None
+        self.srtt = None
+        self.rttvar = None
+        self.rto = 1.0
+        self.last_send_time = -math.inf
+        self.cc.reset(now)
+
+        demand = self.workload.next_flow(self.rng)
+        if demand.size_bytes is not None:
+            self.segments_remaining = max(1, math.ceil(demand.size_bytes / self.mss_bytes))
+        else:
+            self.segments_remaining = None
+            if demand.duration is not None and math.isfinite(demand.duration):
+                self._on_until_event = self.scheduler.schedule_after(
+                    demand.duration, self._switch_off
+                )
+        self._maybe_send()
+
+    def _switch_off(self) -> None:
+        if self.state != "on":
+            return
+        now = self.scheduler.now
+        self.stats.record_on_time(now - self.on_start_time)
+        self.state = "off"
+        self.in_flight.clear()
+        self.retransmit_queue.clear()
+        self.segments_remaining = None
+        self._cancel(self._rto_event)
+        self._cancel(self._pacing_event)
+        self._cancel(self._on_until_event)
+        self._rto_event = None
+        self._pacing_event = None
+        self._on_until_event = None
+
+        off_duration = self.workload.next_off_duration(self.rng)
+        if math.isfinite(off_duration):
+            self._switch_event = self.scheduler.schedule_after(off_duration, self._switch_on)
+
+    @staticmethod
+    def _cancel(event: Optional[Event]) -> None:
+        if event is not None:
+            event.cancel()
+
+    # ------------------------------------------------------------------ sending
+    def _has_data_to_send(self) -> bool:
+        if self.retransmit_queue:
+            return True
+        if self.segments_remaining is None:
+            return True
+        return self.segments_remaining > 0
+
+    def _maybe_send(self) -> None:
+        """Send as many packets as the window, pacing and workload allow."""
+        if self.state != "on" or self.transmit is None:
+            return
+        now = self.scheduler.now
+        while self._has_data_to_send():
+            # Retransmissions are already counted in flight, so sending them
+            # does not grow the flight size and must not be window-blocked
+            # (otherwise a lost packet could never be repaired).
+            is_retransmit = bool(self.retransmit_queue)
+            if not is_retransmit and len(self.in_flight) >= self.effective_window:
+                return
+            intersend = self.cc.intersend_time
+            if intersend > 0:
+                next_allowed = self.last_send_time + intersend
+                if now < next_allowed - 1e-12:
+                    self._schedule_pacing(next_allowed)
+                    return
+            self._send_one(now)
+
+    def _schedule_pacing(self, when: float) -> None:
+        if self._pacing_event is not None and not self._pacing_event.cancelled:
+            if self._pacing_event.time <= when + 1e-12:
+                return
+            self._pacing_event.cancel()
+        self._pacing_event = self.scheduler.schedule(when, self._pacing_fire)
+
+    def _pacing_fire(self) -> None:
+        self._pacing_event = None
+        self._maybe_send()
+
+    def _send_one(self, now: float) -> None:
+        if self.retransmit_queue:
+            seq = self.retransmit_queue.pop(0)
+            retransmit = True
+        else:
+            seq = self.next_seq
+            self.next_seq += 1
+            if self.segments_remaining is not None:
+                self.segments_remaining -= 1
+            retransmit = False
+
+        packet = Packet(self.flow_id, seq, size_bytes=self.mss_bytes, sent_time=now)
+        packet.retransmit = retransmit
+        packet.ecn_capable = self.cc.uses_ecn
+        info = self.in_flight.get(seq)
+        if info is not None and retransmit:
+            packet.first_sent_time = info.first_sent_time
+            info.sent_time = now
+            info.retransmitted = True
+        else:
+            self.in_flight[seq] = _SentInfo(now, now, retransmit, self.mss_bytes)
+
+        self.stats.record_send(retransmit)
+        self.cc.on_packet_sent(packet, now)
+        self.last_send_time = now
+        self.transmit(packet)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------ receiving
+    def on_ack(self, ack: Packet) -> None:
+        """Process an acknowledgment arriving from the network."""
+        if not ack.is_ack:
+            raise ValueError("sender got a data packet")
+        if self.state != "on":
+            return  # stale ACK from an abandoned flow
+        now = self.scheduler.now
+
+        newly_acked_bytes = 0
+        # Cumulative acknowledgment releases everything below ack_seq.
+        for seq in [s for s in self.in_flight if s < ack.ack_seq]:
+            newly_acked_bytes += self.in_flight.pop(seq).size_bytes
+        # The specific segment that generated this ACK may be above the
+        # cumulative point (out-of-order arrival): release it selectively.
+        if ack.sacked_seq in self.in_flight:
+            newly_acked_bytes += self.in_flight.pop(ack.sacked_seq).size_bytes
+        # Anything cumulatively acknowledged no longer needs retransmission.
+        if self.retransmit_queue:
+            self.retransmit_queue = [s for s in self.retransmit_queue if s >= ack.ack_seq]
+
+        # RTT estimation (Karn's rule: ignore retransmitted segments).
+        rtt: Optional[float] = None
+        if not ack.retransmit:
+            rtt = now - ack.echo_sent_time
+            if rtt > 0:
+                self._update_rtt(rtt)
+                self.stats.record_rtt(rtt)
+
+        # A duplicate ACK is one whose cumulative acknowledgment does not
+        # advance — even if it selectively acknowledges an out-of-order
+        # segment (that is exactly the situation that signals a hole).
+        is_duplicate = ack.ack_seq <= self.highest_cum_ack
+        self._update_recovery_state(ack, now, is_duplicate)
+
+        info = AckInfo(
+            now=now,
+            acked_seq=ack.sacked_seq,
+            cumulative_ack=ack.ack_seq,
+            newly_acked_bytes=newly_acked_bytes,
+            rtt=rtt,
+            min_rtt=self.min_rtt,
+            echo_sent_time=ack.echo_sent_time,
+            receiver_time=ack.receiver_time,
+            ecn_echo=ack.ecn_echo,
+            in_flight=len(self.in_flight),
+            xcp_feedback=ack.xcp_feedback,
+            is_duplicate=is_duplicate,
+        )
+        self.cc.on_ack(info)
+
+        if self.trace_sequence:
+            self.stats.sequence_trace.append((now, ack.ack_seq))
+
+        if self._flow_complete():
+            self._switch_off()
+            return
+
+        if self.in_flight:
+            self._arm_rto(restart=True)
+        else:
+            self._cancel(self._rto_event)
+            self._rto_event = None
+        self._maybe_send()
+
+    def _update_recovery_state(self, ack: Packet, now: float, is_duplicate: bool) -> None:
+        if ack.ack_seq > self.highest_cum_ack:
+            self.highest_cum_ack = ack.ack_seq
+            self.dup_count = 0
+            if self.in_recovery:
+                if ack.ack_seq > self.recovery_point:
+                    self.in_recovery = False
+                elif (
+                    ack.ack_seq in self.in_flight
+                    and ack.ack_seq not in self.retransmit_queue
+                ):
+                    # NewReno-style partial ACK: the cumulative point advanced
+                    # but is still below the recovery point, so the segment it
+                    # now stops at is the next hole — retransmit it directly
+                    # without waiting for three more duplicates or an RTO.
+                    self.retransmit_queue.insert(0, ack.ack_seq)
+        elif is_duplicate:
+            self.dup_count += 1
+            if self.dup_count >= DUPACK_THRESHOLD and not self.in_recovery:
+                self._fast_retransmit(ack.ack_seq, now)
+
+    def _fast_retransmit(self, missing_seq: int, now: float) -> None:
+        self.in_recovery = True
+        self.recovery_point = self.next_seq - 1
+        self.dup_count = 0
+        if missing_seq in self.in_flight and missing_seq not in self.retransmit_queue:
+            self.retransmit_queue.insert(0, missing_seq)
+        self.stats.record_loss()
+        self.cc.on_loss(now)
+
+    def _flow_complete(self) -> bool:
+        return (
+            self.segments_remaining is not None
+            and self.segments_remaining == 0
+            and not self.in_flight
+            and not self.retransmit_queue
+        )
+
+    # ------------------------------------------------------------------ RTT / RTO
+    def _update_rtt(self, rtt: float) -> None:
+        if self.min_rtt is None or rtt < self.min_rtt:
+            self.min_rtt = rtt
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        self.rto = min(MAX_RTO, max(MIN_RTO, self.srtt + 4 * self.rttvar))
+
+    def _arm_rto(self, restart: bool = False) -> None:
+        if restart:
+            self._cancel(self._rto_event)
+            self._rto_event = None
+        if self._rto_event is not None and not self._rto_event.cancelled:
+            return
+        self._rto_event = self.scheduler.schedule_after(self.rto, self._rto_fire)
+
+    def _rto_fire(self) -> None:
+        self._rto_event = None
+        if self.state != "on" or not self.in_flight:
+            return
+        now = self.scheduler.now
+        oldest = min(self.in_flight)
+        if oldest not in self.retransmit_queue:
+            self.retransmit_queue.insert(0, oldest)
+        self.stats.record_timeout()
+        self.dup_count = 0
+        self.in_recovery = False
+        self.cc.on_timeout(now)
+        self.rto = min(MAX_RTO, self.rto * 2)
+        self._arm_rto()
+        self._maybe_send()

@@ -1,0 +1,181 @@
+"""Simulation driver: build a dumbbell, run it, summarise per-flow results.
+
+:class:`Simulation` is the top-level entry point used by the examples, the
+Remy evaluator and every experiment harness.  It takes a
+:class:`~repro.netsim.network.NetworkSpec`, one congestion-control module and
+one workload per flow, runs the discrete-event loop for a fixed duration and
+returns a :class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.netsim.events import EventScheduler
+from repro.netsim.network import DumbbellNetwork, NetworkSpec
+from repro.netsim.receiver import Receiver
+from repro.netsim.sender import Sender, Workload
+from repro.netsim.stats import FlowStats
+
+if TYPE_CHECKING:  # type annotations only; avoids a netsim <-> protocols cycle
+    from repro.protocols.base import CongestionControl
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    duration: float
+    flow_stats: list[FlowStats]
+    queue_drops: int = 0
+    queue_marks: int = 0
+    events_processed: int = 0
+
+    # -- per-flow accessors ------------------------------------------------------
+    def throughputs_mbps(self) -> list[float]:
+        """Per-flow average throughput (Mbit/s) over each flow's on-time."""
+        return [stats.throughput_mbps() for stats in self.flow_stats]
+
+    def queue_delays_ms(self) -> list[float]:
+        """Per-flow mean queueing delay (ms)."""
+        return [stats.avg_queue_delay_ms() for stats in self.flow_stats]
+
+    def active_flows(self) -> list[FlowStats]:
+        """Flows that were on at least once and received data."""
+        return [stats for stats in self.flow_stats if stats.on_time > 0]
+
+    # -- summary metrics ----------------------------------------------------------
+    def median_throughput_mbps(self) -> float:
+        values = [s.throughput_mbps() for s in self.active_flows()]
+        return statistics.median(values) if values else 0.0
+
+    def median_queue_delay_ms(self) -> float:
+        values = [s.avg_queue_delay_ms() for s in self.active_flows() if s.queue_delay_count > 0]
+        return statistics.median(values) if values else 0.0
+
+    def mean_throughput_mbps(self) -> float:
+        values = [s.throughput_mbps() for s in self.active_flows()]
+        return statistics.fmean(values) if values else 0.0
+
+    def mean_queue_delay_ms(self) -> float:
+        values = [s.avg_queue_delay_ms() for s in self.active_flows() if s.queue_delay_count > 0]
+        return statistics.fmean(values) if values else 0.0
+
+    def total_bytes_received(self) -> int:
+        return sum(s.bytes_received for s in self.flow_stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationResult(T={self.duration}s, flows={len(self.flow_stats)}, "
+            f"median_tput={self.median_throughput_mbps():.3f} Mbps, "
+            f"median_qdelay={self.median_queue_delay_ms():.1f} ms)"
+        )
+
+
+class Simulation:
+    """One run of a dumbbell network with a fixed set of flows.
+
+    Parameters
+    ----------
+    spec:
+        Bottleneck description.
+    protocols:
+        One congestion-control instance per flow (length must equal
+        ``spec.n_flows``).
+    workloads:
+        One on/off workload per flow, or ``None`` for all-always-on sources.
+    duration:
+        Simulated seconds.
+    seed:
+        Seed for every stochastic component (workload draws, RED, etc.); the
+        same seed reproduces the identical packet schedule.
+    trace_flows:
+        Flow ids whose (time, cumulative-ack) trajectory should be recorded
+        (used by the Figure 6 convergence experiment).
+    """
+
+    def __init__(
+        self,
+        spec: NetworkSpec,
+        protocols: Sequence["CongestionControl"],
+        workloads: Optional[Sequence[Optional[Workload]]] = None,
+        duration: float = 100.0,
+        seed: int = 0,
+        trace_flows: Sequence[int] = (),
+        max_events: Optional[int] = None,
+    ):
+        if len(protocols) != spec.n_flows:
+            raise ValueError(
+                f"got {len(protocols)} protocols for {spec.n_flows} flows"
+            )
+        if workloads is not None and len(workloads) != spec.n_flows:
+            raise ValueError(
+                f"got {len(workloads)} workloads for {spec.n_flows} flows"
+            )
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.spec = spec
+        self.protocols = list(protocols)
+        self.workloads = list(workloads) if workloads is not None else [None] * spec.n_flows
+        self.duration = duration
+        self.seed = seed
+        self.trace_flows = set(trace_flows)
+        self.max_events = max_events
+
+        self.scheduler = EventScheduler()
+        self.master_rng = random.Random(seed)
+        self.network = DumbbellNetwork(
+            self.scheduler, spec, rng=random.Random(self.master_rng.getrandbits(32))
+        )
+        self.senders: list[Sender] = []
+        self.receivers: list[Receiver] = []
+        self._build_flows()
+
+    def _build_flows(self) -> None:
+        for flow_id in range(self.spec.n_flows):
+            stats = FlowStats(flow_id)
+            flow_rng = random.Random(self.master_rng.getrandbits(32))
+            sender = Sender(
+                flow_id,
+                self.scheduler,
+                cc=self.protocols[flow_id],
+                workload=self.workloads[flow_id],
+                stats=stats,
+                mss_bytes=self.spec.mss_bytes,
+                rng=flow_rng,
+                trace_sequence=flow_id in self.trace_flows,
+            )
+            receiver = Receiver(flow_id, self.scheduler, stats=stats)
+            self.network.attach_flow(flow_id, sender, receiver)
+            self.senders.append(sender)
+            self.receivers.append(receiver)
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return per-flow statistics."""
+        for sender in self.senders:
+            sender.start()
+        self.scheduler.run_until(self.duration, max_events=self.max_events)
+        for sender in self.senders:
+            sender.finalize(self.duration)
+        queue = self.network.queue
+        return SimulationResult(
+            duration=self.duration,
+            flow_stats=[sender.stats for sender in self.senders],
+            queue_drops=queue.drops,
+            queue_marks=queue.marks,
+            events_processed=self.scheduler.events_processed,
+        )
+
+
+def run_simulation(
+    spec: NetworkSpec,
+    protocols: Sequence["CongestionControl"],
+    workloads: Optional[Sequence[Optional[Workload]]] = None,
+    duration: float = 100.0,
+    seed: int = 0,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulation` and run it."""
+    return Simulation(spec, protocols, workloads, duration=duration, seed=seed).run()

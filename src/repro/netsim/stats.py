@@ -1,0 +1,112 @@
+"""Per-flow statistics collection.
+
+The metrics follow §5.1 of the paper:
+
+* **throughput** of an on/off source = (total bytes received while the source
+  was "on") / (total time the source was "on");
+* **queueing delay** = per-packet delay in excess of the minimum RTT, i.e. the
+  time each data packet spent waiting in the bottleneck queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class FlowStats:
+    """Accumulated statistics for one sender-receiver pair."""
+
+    flow_id: int
+    bytes_received: int = 0
+    packets_received: int = 0
+    packets_sent: int = 0
+    retransmissions: int = 0
+    losses_detected: int = 0
+    timeouts: int = 0
+    on_time: float = 0.0
+    on_intervals: int = 0
+    queue_delay_sum: float = 0.0
+    queue_delay_count: int = 0
+    rtt_sum: float = 0.0
+    rtt_count: int = 0
+    min_rtt: Optional[float] = None
+    max_queue_delay: float = 0.0
+    #: (time, sequence) points for convergence plots (only populated when the
+    #: simulation is asked to trace a flow — see Figure 6).
+    sequence_trace: list = field(default_factory=list)
+
+    # -- recording -----------------------------------------------------------
+    def record_delivery(self, size_bytes: int) -> None:
+        """A new (non-duplicate) data packet reached the receiver."""
+        self.bytes_received += size_bytes
+        self.packets_received += 1
+
+    def record_send(self, retransmit: bool) -> None:
+        self.packets_sent += 1
+        if retransmit:
+            self.retransmissions += 1
+
+    def record_queue_delay(self, delay: float) -> None:
+        self.queue_delay_sum += delay
+        self.queue_delay_count += 1
+        if delay > self.max_queue_delay:
+            self.max_queue_delay = delay
+
+    def record_rtt(self, rtt: float) -> None:
+        self.rtt_sum += rtt
+        self.rtt_count += 1
+        if self.min_rtt is None or rtt < self.min_rtt:
+            self.min_rtt = rtt
+
+    def record_on_time(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("on-interval duration cannot be negative")
+        self.on_time += duration
+        self.on_intervals += 1
+
+    def record_loss(self) -> None:
+        self.losses_detected += 1
+
+    def record_timeout(self) -> None:
+        self.timeouts += 1
+
+    # -- derived metrics -------------------------------------------------------
+    def throughput_bps(self) -> float:
+        """Average throughput in bits/second over the flow's "on" time."""
+        if self.on_time <= 0:
+            return 0.0
+        return self.bytes_received * 8 / self.on_time
+
+    def throughput_mbps(self) -> float:
+        """Average throughput in megabits/second over the flow's "on" time."""
+        return self.throughput_bps() / 1e6
+
+    def avg_queue_delay(self) -> float:
+        """Mean per-packet queueing delay (seconds)."""
+        if self.queue_delay_count == 0:
+            return 0.0
+        return self.queue_delay_sum / self.queue_delay_count
+
+    def avg_queue_delay_ms(self) -> float:
+        """Mean per-packet queueing delay (milliseconds)."""
+        return self.avg_queue_delay() * 1000
+
+    def avg_rtt(self) -> float:
+        """Mean measured round-trip time (seconds)."""
+        if self.rtt_count == 0:
+            return 0.0
+        return self.rtt_sum / self.rtt_count
+
+    def loss_rate(self) -> float:
+        """Fraction of transmitted packets that were retransmissions."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.retransmissions / self.packets_sent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowStats(flow={self.flow_id}, tput={self.throughput_mbps():.3f} Mbps, "
+            f"qdelay={self.avg_queue_delay_ms():.1f} ms, on={self.on_time:.1f}s)"
+        )

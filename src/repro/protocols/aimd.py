@@ -1,0 +1,54 @@
+"""Generic additive-increase / multiplicative-decrease congestion control.
+
+Chiu & Jain's classic linear control law, parameterised by the additive
+increase ``a`` (packets per RTT) and the multiplicative decrease ``b``.
+NewReno, DCTCP and Compound specialise or extend this behaviour; having the
+plain AIMD law available makes ablation experiments straightforward.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import AckInfo
+from repro.protocols.base import CongestionControl
+
+
+class AIMD(CongestionControl):
+    """Additive-increase / multiplicative-decrease window control."""
+
+    name = "aimd"
+
+    def __init__(
+        self,
+        increase_per_rtt: float = 1.0,
+        decrease_factor: float = 0.5,
+        initial_window: float = 2.0,
+        use_slow_start: bool = True,
+    ):
+        super().__init__(initial_window=initial_window)
+        if increase_per_rtt <= 0:
+            raise ValueError("increase_per_rtt must be positive")
+        if not 0 < decrease_factor < 1:
+            raise ValueError("decrease_factor must be in (0, 1)")
+        self.increase_per_rtt = increase_per_rtt
+        self.decrease_factor = decrease_factor
+        self.use_slow_start = use_slow_start
+        self.ssthresh = float("inf")
+
+    def on_flow_start(self, now: float) -> None:
+        self.ssthresh = float("inf")
+
+    def on_ack(self, ack: AckInfo) -> None:
+        if ack.newly_acked_bytes <= 0:
+            return
+        if self.use_slow_start and self.cwnd < self.ssthresh:
+            self.cwnd += 1.0
+        else:
+            self.cwnd += self.increase_per_rtt / max(self.cwnd, 1.0)
+
+    def on_loss(self, now: float) -> None:
+        self.ssthresh = max(2.0, self.cwnd * self.decrease_factor)
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self, now: float) -> None:
+        self.ssthresh = max(2.0, self.cwnd * self.decrease_factor)
+        self.cwnd = self._initial_window

@@ -1,0 +1,79 @@
+"""Abstract interface every congestion-control module implements.
+
+The transport harness (:class:`repro.netsim.sender.Sender`) owns sequencing,
+loss detection and retransmission.  A congestion-control module only decides
+*how much* may be outstanding (the congestion window) and *how fast* packets
+may leave (an optional lower bound on the interval between sends — the pacing
+knob RemyCC actions control).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.netsim.packet import AckInfo, Packet
+
+
+class CongestionControl(ABC):
+    """Base class for congestion-control algorithms.
+
+    Subclasses adjust :attr:`cwnd` (in packets, may be fractional) and
+    :attr:`intersend_time` (seconds; 0 disables pacing) in response to the
+    callbacks below.  The harness reads both attributes before every
+    transmission decision.
+    """
+
+    #: Human-readable protocol name used in results tables.
+    name = "base"
+
+    #: True if the protocol sets the ECN-capable bit on its packets and
+    #: reacts to ECN echoes (DCTCP).
+    uses_ecn = False
+
+    def __init__(self, initial_window: float = 2.0):
+        if initial_window <= 0:
+            raise ValueError("initial window must be positive")
+        self._initial_window = float(initial_window)
+        self.cwnd = float(initial_window)
+        self.intersend_time = 0.0
+
+    # ------------------------------------------------------------------ API
+    @property
+    def window(self) -> float:
+        """Current congestion window in packets."""
+        return self.cwnd
+
+    def reset(self, now: float) -> None:
+        """Reset all connection state at the start of an "on" period.
+
+        The paper's RemyCCs (and TCP with slow-start restart) begin every new
+        flow from a well-known initial state; the harness calls this whenever
+        the on/off process switches the flow on.
+        """
+        self.cwnd = self._initial_window
+        self.intersend_time = 0.0
+        self.on_flow_start(now)
+
+    def on_flow_start(self, now: float) -> None:
+        """Hook for per-flow initialisation beyond the window reset."""
+
+    @abstractmethod
+    def on_ack(self, ack: AckInfo) -> None:
+        """React to an acknowledgment (duplicate or new)."""
+
+    def on_loss(self, now: float) -> None:
+        """React to a fast-retransmit loss event (once per loss episode)."""
+
+    def on_timeout(self, now: float) -> None:
+        """React to a retransmission timeout."""
+        self.cwnd = self._initial_window
+
+    def on_packet_sent(self, packet: Packet, now: float) -> None:
+        """Observe a departing packet (used by XCP to stamp its header)."""
+
+    # -------------------------------------------------------------- helpers
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(cwnd={self.cwnd:.2f}, "
+            f"intersend={self.intersend_time * 1000:.2f}ms)"
+        )

@@ -1,0 +1,90 @@
+"""Compound TCP (Tan, Song, Zhang & Sridharan, 2006).
+
+Compound maintains two components: a loss-based window ``cwnd_loss`` that
+behaves like Reno, and a delay-based window ``dwnd`` adjusted by a binomial
+law driven by the estimated bottleneck backlog (a Vegas-style ``diff``).  The
+effective congestion window is their sum.  Compound uses the delay signal to
+detect the *absence* of congestion (growing fast over underused paths) rather
+than its onset, which is the key difference from Vegas noted in §2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.packet import AckInfo
+from repro.protocols.base import CongestionControl
+
+
+class CompoundTCP(CongestionControl):
+    """Compound TCP: Reno loss window plus a binomial delay window."""
+
+    name = "compound"
+
+    # Parameters from the Compound TCP paper / Windows implementation.
+    ALPHA = 0.125
+    BETA = 0.5
+    ETA = 1.0
+    K = 0.75
+    GAMMA = 30.0  # backlog threshold in packets
+
+    def __init__(self, initial_window: float = 4.0):
+        super().__init__(initial_window=initial_window)
+        self.cwnd_loss = float(initial_window)
+        self.dwnd = 0.0
+        self.ssthresh = float("inf")
+        self.base_rtt: Optional[float] = None
+
+    def on_flow_start(self, now: float) -> None:
+        self.cwnd_loss = self._initial_window
+        self.dwnd = 0.0
+        self.ssthresh = float("inf")
+        self.base_rtt = None
+        self._sync_window()
+
+    def _sync_window(self) -> None:
+        self.cwnd = max(2.0, self.cwnd_loss + self.dwnd)
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd_loss < self.ssthresh
+
+    def on_ack(self, ack: AckInfo) -> None:
+        if ack.newly_acked_bytes <= 0:
+            return
+
+        if ack.rtt is not None and (self.base_rtt is None or ack.rtt < self.base_rtt):
+            self.base_rtt = ack.rtt
+
+        if self.in_slow_start:
+            self.cwnd_loss += 1.0
+            self._sync_window()
+            return
+
+        # Loss-based component: standard Reno additive increase.
+        self.cwnd_loss += 1.0 / max(self.cwnd, 1.0)
+
+        # Delay-based component: binomial increase when the path looks
+        # uncongested, sharp decrease when backlog builds up.
+        if ack.rtt is not None and self.base_rtt is not None and ack.rtt > 0:
+            expected = self.cwnd / self.base_rtt
+            actual = self.cwnd / ack.rtt
+            diff = (expected - actual) * self.base_rtt
+            if diff < self.GAMMA:
+                increment = self.ALPHA * (self.cwnd ** self.K) - 1.0
+                self.dwnd += max(increment, 0.0) / max(self.cwnd, 1.0)
+            else:
+                self.dwnd = max(0.0, self.dwnd - self.ETA * diff)
+        self._sync_window()
+
+    def on_loss(self, now: float) -> None:
+        self.ssthresh = max(2.0, self.cwnd_loss / 2.0)
+        self.cwnd_loss = self.ssthresh
+        self.dwnd = max(0.0, self.cwnd * (1.0 - self.BETA) - self.cwnd_loss)
+        self._sync_window()
+
+    def on_timeout(self, now: float) -> None:
+        self.ssthresh = max(2.0, self.cwnd_loss / 2.0)
+        self.cwnd_loss = self._initial_window
+        self.dwnd = 0.0
+        self._sync_window()

@@ -1,0 +1,117 @@
+"""TCP Cubic congestion control (Ha, Rhee & Xu, 2008).
+
+Cubic grows the window as a cubic function of the time elapsed since the last
+window reduction, independent of the RTT: after a loss at window ``W_max``
+the window is cut by a factor ``beta`` and then follows
+
+    W(t) = C * (t - K)^3 + W_max,      K = cbrt(W_max * beta_decrement / C)
+
+so it plateaus near ``W_max`` before probing beyond it.  The implementation
+includes Cubic's "TCP-friendly" region, which keeps it at least as aggressive
+as an AIMD flow with the equivalent average rate.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import AckInfo
+from repro.protocols.base import CongestionControl
+
+#: Cubic scaling constant (RFC 8312 default).
+CUBIC_C = 0.4
+
+#: Multiplicative window reduction on loss (RFC 8312: 0.7).
+CUBIC_BETA = 0.7
+
+
+class Cubic(CongestionControl):
+    """TCP Cubic window dynamics.
+
+    The default initial window of 10 segments follows the Linux stack the
+    paper's ns-2 port was taken from (and RFC 6928), which is part of why
+    Cubic is the most throughput-aggressive — and most queue-building — of
+    the end-to-end baselines.
+    """
+
+    name = "cubic"
+
+    def __init__(self, initial_window: float = 10.0, c: float = CUBIC_C, beta: float = CUBIC_BETA):
+        super().__init__(initial_window=initial_window)
+        if c <= 0:
+            raise ValueError("c must be positive")
+        if not 0 < beta < 1:
+            raise ValueError("beta must be in (0, 1)")
+        self.c = c
+        self.beta = beta
+        self.w_max = 0.0
+        self.k = 0.0
+        self.epoch_start: float | None = None
+        self.ssthresh = float("inf")
+        self.tcp_cwnd = 0.0
+        self._last_rtt = 0.1
+
+    def on_flow_start(self, now: float) -> None:
+        self.w_max = 0.0
+        self.k = 0.0
+        self.epoch_start = None
+        self.ssthresh = float("inf")
+        self.tcp_cwnd = 0.0
+        self._last_rtt = 0.1
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def _cubic_window(self, t: float) -> float:
+        return self.c * (t - self.k) ** 3 + self.w_max
+
+    def on_ack(self, ack: AckInfo) -> None:
+        if ack.newly_acked_bytes <= 0:
+            return
+        if ack.rtt is not None:
+            self._last_rtt = ack.rtt
+
+        if self.in_slow_start:
+            self.cwnd += 1.0
+            return
+
+        now = ack.now
+        if self.epoch_start is None:
+            self.epoch_start = now
+            if self.cwnd < self.w_max:
+                self.k = ((self.w_max - self.cwnd) / self.c) ** (1.0 / 3.0)
+            else:
+                self.k = 0.0
+                self.w_max = self.cwnd
+            self.tcp_cwnd = self.cwnd
+
+        t = now - self.epoch_start
+        target = self._cubic_window(t + self._last_rtt)
+
+        # TCP-friendly region (estimate of what AIMD would have reached).
+        self.tcp_cwnd += 3.0 * (1.0 - self.beta) / (1.0 + self.beta) / max(self.cwnd, 1.0)
+        target = max(target, self.tcp_cwnd)
+
+        if target > self.cwnd:
+            # Close a fraction of the gap per ACK, as the Linux implementation
+            # does (cwnd += (target - cwnd) / cwnd per ACK).
+            self.cwnd += (target - self.cwnd) / max(self.cwnd, 1.0)
+        else:
+            # Gentle probing when at/above the cubic target.
+            self.cwnd += 0.01 / max(self.cwnd, 1.0)
+
+    def on_loss(self, now: float) -> None:
+        self.epoch_start = None
+        # Fast convergence: release bandwidth sooner when the loss happened
+        # below the previous maximum.
+        if self.cwnd < self.w_max:
+            self.w_max = self.cwnd * (1.0 + self.beta) / 2.0
+        else:
+            self.w_max = self.cwnd
+        self.cwnd = max(2.0, self.cwnd * self.beta)
+        self.ssthresh = self.cwnd
+
+    def on_timeout(self, now: float) -> None:
+        self.epoch_start = None
+        self.w_max = self.cwnd
+        self.ssthresh = max(2.0, self.cwnd * self.beta)
+        self.cwnd = self._initial_window

@@ -1,0 +1,49 @@
+"""TCP NewReno congestion control (RFC 5681 / RFC 6582 behaviour).
+
+Slow start at the beginning, after a timeout, or after a long idle period;
+additive increase of one segment per RTT in congestion avoidance; a one-half
+window reduction on three duplicate ACKs.  Loss *recovery* details (partial
+ACKs etc.) live in the transport harness; this module only implements the
+window law the paper describes in §2.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import AckInfo
+from repro.protocols.base import CongestionControl
+
+
+class NewReno(CongestionControl):
+    """TCP NewReno window dynamics."""
+
+    name = "newreno"
+
+    def __init__(self, initial_window: float = 4.0, initial_ssthresh: float = float("inf")):
+        super().__init__(initial_window=initial_window)
+        self._initial_ssthresh = initial_ssthresh
+        self.ssthresh = initial_ssthresh
+
+    def on_flow_start(self, now: float) -> None:
+        self.ssthresh = self._initial_ssthresh
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, ack: AckInfo) -> None:
+        if ack.newly_acked_bytes <= 0:
+            return
+        if self.in_slow_start:
+            # One segment per ACKed segment.
+            self.cwnd += 1.0
+        else:
+            # Approximately one segment per window per RTT.
+            self.cwnd += 1.0 / max(self.cwnd, 1.0)
+
+    def on_loss(self, now: float) -> None:
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self, now: float) -> None:
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = self._initial_window

@@ -1,0 +1,94 @@
+"""RemyCC runtime: executes a computer-generated rule table at the sender (§4.2).
+
+Operation is a sequence of lookups triggered by incoming ACKs: each ACK
+updates the three-variable memory (ack_ewma, send_ewma, rtt_ratio), the
+matching whisker is looked up in the rule table, and its action is applied —
+
+    cwnd ← m · cwnd + b,   intersend ← r milliseconds,
+
+where the intersend time is enforced by the transport harness as a lower
+bound on the gap between successive transmissions.
+
+The same class is used in two roles: executing a finished RemyCC during the
+evaluation experiments, and executing a *candidate* rule table inside the
+optimizer's inner loop (``training=True`` additionally records per-whisker
+use counts and triggering memory samples for the split step).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.memory import MemoryTracker
+from repro.core.whisker_tree import WhiskerTree
+from repro.netsim.packet import AckInfo
+from repro.protocols.base import CongestionControl
+
+
+class RemyCCProtocol(CongestionControl):
+    """Sender-side execution of a Remy-designed rule table."""
+
+    name = "remy"
+
+    def __init__(
+        self,
+        tree: WhiskerTree,
+        initial_window: float = 1.0,
+        training: bool = False,
+        label: Optional[str] = None,
+    ):
+        super().__init__(initial_window=initial_window)
+        self.tree = tree
+        self.training = training
+        self.tracker = MemoryTracker()
+        if label is not None:
+            self.name = label
+        elif tree.name:
+            self.name = tree.name
+        # Start from the default action's pacing so the very first packets of
+        # a flow are already paced (the memory is all-zeroes at that point).
+        initial_action = tree.action_for(self.tracker.memory)
+        self.intersend_time = initial_action.intersend_seconds
+
+    # ------------------------------------------------------------------ hooks
+    def on_flow_start(self, now: float) -> None:
+        self.tracker.reset()
+        initial_action = self.tree.action_for(self.tracker.memory)
+        # Consult the rule table for the all-zeroes start-up state right away:
+        # the start-up rule's window increment is effectively the RemyCC's
+        # initial window (how hard it grabs spare bandwidth in the first RTT).
+        self.cwnd = initial_action.apply(self.cwnd)
+        self.intersend_time = initial_action.intersend_seconds
+
+    def on_ack(self, ack: AckInfo) -> None:
+        memory = self.tracker.on_ack(ack.now, ack.echo_sent_time, ack.rtt)
+        if self.training:
+            action = self.tree.use(memory)
+        else:
+            action = self.tree.action_for(memory)
+        self.cwnd = action.apply(self.cwnd)
+        self.intersend_time = action.intersend_seconds
+
+    def on_loss(self, now: float) -> None:
+        # RemyCCs do not use loss as a congestion signal (§4.1); the harness's
+        # retransmission machinery recovers the data, and the rule table keeps
+        # governing the window.
+        return
+
+    def on_timeout(self, now: float) -> None:
+        # Inherit conservative timeout behaviour from the host TCP sender:
+        # collapse the window and restart from the initial memory state.
+        self.cwnd = self._initial_window
+        self.tracker.reset()
+
+    # ------------------------------------------------------------------ info
+    @property
+    def memory(self):
+        """Current memory state (mainly for tests and debugging)."""
+        return self.tracker.memory
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RemyCCProtocol(name={self.name!r}, rules={len(self.tree)}, "
+            f"cwnd={self.cwnd:.1f}, intersend={self.intersend_time * 1000:.2f}ms)"
+        )

@@ -1,0 +1,161 @@
+"""Probability distributions used by the traffic and network models.
+
+Every distribution draws from a caller-supplied :class:`random.Random` so that
+simulations are reproducible and candidate evaluations inside the optimizer
+can share random seeds (§4.3: "We use the same random seed and the same set of
+specimen networks in the simulation of each candidate action").
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+
+class Distribution(ABC):
+    """A one-dimensional distribution over non-negative reals."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one value."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value (may be ``inf`` for heavy-tailed distributions)."""
+
+
+class ConstantDistribution(Distribution):
+    """Always returns the same value (degenerate distribution)."""
+
+    def __init__(self, value: float):
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        self.value = float(value)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+class UniformDistribution(Distribution):
+    """Uniform on [low, high] — the paper's design ranges are uniform draws."""
+
+    def __init__(self, low: float, high: float):
+        if high < low:
+            raise ValueError("high must be >= low")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+
+class ExponentialDistribution(Distribution):
+    """Exponential with the given mean (on/off durations, flow sizes)."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self._mean = float(mean)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self._mean)
+
+    def mean(self) -> float:
+        return self._mean
+
+
+class ParetoDistribution(Distribution):
+    """Shifted Pareto: ``shift + Pareto(xm, alpha)``, optionally truncated.
+
+    With ``alpha <= 1`` the mean is infinite (the paper's Figure 3 fit has
+    alpha = 0.5, "suggesting mean is not well-defined"); a ``maximum`` cap
+    keeps individual simulation runs finite.
+    """
+
+    def __init__(self, xm: float, alpha: float, shift: float = 0.0, maximum: float | None = None):
+        if xm <= 0:
+            raise ValueError("xm must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if maximum is not None and maximum <= shift + xm:
+            raise ValueError("maximum must exceed shift + xm")
+        self.xm = float(xm)
+        self.alpha = float(alpha)
+        self.shift = float(shift)
+        self.maximum = maximum
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        # Inverse-CDF sampling; clamp u away from 0 to avoid division overflow.
+        u = max(u, 1e-12)
+        value = self.shift + self.xm / (u ** (1.0 / self.alpha))
+        if self.maximum is not None:
+            value = min(value, self.maximum)
+        return value
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            if self.maximum is None:
+                return float("inf")
+            # Truncated mean, computed analytically for the truncated Pareto.
+            xm, alpha, cap = self.xm, self.alpha, self.maximum - self.shift
+            if alpha == 1.0:
+                import math
+
+                core = xm * math.log(cap / xm) / (1 - (xm / cap) ** alpha)
+            else:
+                core = (
+                    xm ** alpha
+                    * (cap ** (1 - alpha) - xm ** (1 - alpha))
+                    / ((1 - alpha) * (1 - (xm / cap) ** alpha))
+                )
+            return self.shift + core
+        return self.shift + self.alpha * self.xm / (self.alpha - 1.0)
+
+
+class EmpiricalDistribution(Distribution):
+    """Samples from an empirical CDF given as (value, cumulative_probability) points."""
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        values = [p[0] for p in points]
+        probs = [p[1] for p in points]
+        if any(b < a for a, b in zip(probs, probs[1:])):
+            raise ValueError("cumulative probabilities must be non-decreasing")
+        if any(b < a for a, b in zip(values, values[1:])):
+            raise ValueError("values must be non-decreasing")
+        if not (0.0 <= probs[0] and abs(probs[-1] - 1.0) < 1e-9):
+            raise ValueError("cumulative probabilities must end at 1.0")
+        self.values = list(values)
+        self.probs = list(probs)
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        index = bisect.bisect_left(self.probs, u)
+        index = min(index, len(self.values) - 1)
+        if index == 0:
+            return self.values[0]
+        # Linear interpolation between adjacent CDF points.
+        p0, p1 = self.probs[index - 1], self.probs[index]
+        v0, v1 = self.values[index - 1], self.values[index]
+        if p1 <= p0:
+            return v1
+        fraction = (u - p0) / (p1 - p0)
+        return v0 + fraction * (v1 - v0)
+
+    def mean(self) -> float:
+        # Mean of the piecewise-linear interpolated distribution.
+        total = 0.0
+        for i in range(1, len(self.values)):
+            weight = self.probs[i] - self.probs[i - 1]
+            total += weight * (self.values[i] + self.values[i - 1]) / 2
+        return total

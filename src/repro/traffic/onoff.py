@@ -1,0 +1,117 @@
+"""On/off switching workloads (§3.2, §5.1).
+
+Each source alternates between an exponentially distributed "off" period and
+an "on" period whose demand is either
+
+* a number of **bytes** to transfer (``ByteFlowWorkload``) — drawn from an
+  exponential distribution or the heavy-tailed flow-length model of Figure 3;
+  the source stays on until the transfer completes; or
+* a **duration** in seconds (``TimedFlowWorkload``) — the source sends as
+  fast as the congestion-control protocol allows for that long, modelling
+  videoconference-like traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.netsim.sender import FlowDemand, Workload
+from repro.traffic.distributions import ConstantDistribution, Distribution, ExponentialDistribution
+
+
+class OnOffWorkload(Workload):
+    """Base class: exponential off periods, subclass-defined on periods."""
+
+    def __init__(
+        self,
+        mean_off_seconds: float,
+        start_on: bool = False,
+        initial_delay: Optional[Distribution] = None,
+    ):
+        if mean_off_seconds < 0:
+            raise ValueError("mean_off_seconds cannot be negative")
+        self.off_distribution: Distribution
+        if mean_off_seconds == 0:
+            self.off_distribution = ConstantDistribution(0.0)
+        else:
+            self.off_distribution = ExponentialDistribution(mean_off_seconds)
+        self.start_on = start_on
+        self.initial_delay = initial_delay
+
+    def first_on_delay(self, rng: random.Random) -> float:
+        if self.initial_delay is not None:
+            return self.initial_delay.sample(rng)
+        if self.start_on:
+            return 0.0
+        return self.off_distribution.sample(rng)
+
+    def next_off_duration(self, rng: random.Random) -> float:
+        return self.off_distribution.sample(rng)
+
+    def next_flow(self, rng: random.Random) -> FlowDemand:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ByteFlowWorkload(OnOffWorkload):
+    """"On by bytes": each flow transfers a random number of bytes."""
+
+    def __init__(
+        self,
+        flow_size: Distribution,
+        mean_off_seconds: float,
+        min_bytes: int = 1500,
+        start_on: bool = False,
+        initial_delay: Optional[Distribution] = None,
+    ):
+        super().__init__(mean_off_seconds, start_on=start_on, initial_delay=initial_delay)
+        if min_bytes <= 0:
+            raise ValueError("min_bytes must be positive")
+        self.flow_size = flow_size
+        self.min_bytes = min_bytes
+
+    @classmethod
+    def exponential(
+        cls,
+        mean_flow_bytes: float,
+        mean_off_seconds: float,
+        **kwargs,
+    ) -> "ByteFlowWorkload":
+        """The paper's most common workload: exponential flow lengths."""
+        return cls(ExponentialDistribution(mean_flow_bytes), mean_off_seconds, **kwargs)
+
+    def next_flow(self, rng: random.Random) -> FlowDemand:
+        size = max(self.min_bytes, int(round(self.flow_size.sample(rng))))
+        return FlowDemand(size_bytes=size)
+
+
+class TimedFlowWorkload(OnOffWorkload):
+    """"On by time": each flow stays on for a random duration."""
+
+    def __init__(
+        self,
+        on_duration: Distribution,
+        mean_off_seconds: float,
+        min_seconds: float = 0.01,
+        start_on: bool = False,
+        initial_delay: Optional[Distribution] = None,
+    ):
+        super().__init__(mean_off_seconds, start_on=start_on, initial_delay=initial_delay)
+        if min_seconds <= 0:
+            raise ValueError("min_seconds must be positive")
+        self.on_duration = on_duration
+        self.min_seconds = min_seconds
+
+    @classmethod
+    def exponential(
+        cls,
+        mean_on_seconds: float,
+        mean_off_seconds: float,
+        **kwargs,
+    ) -> "TimedFlowWorkload":
+        """Exponentially distributed on and off durations (the design model)."""
+        return cls(ExponentialDistribution(mean_on_seconds), mean_off_seconds, **kwargs)
+
+    def next_flow(self, rng: random.Random) -> FlowDemand:
+        duration = max(self.min_seconds, self.on_duration.sample(rng))
+        return FlowDemand(duration=duration)

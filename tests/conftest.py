@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim.events import EventScheduler
+from repro.netsim.network import NetworkSpec
+
+
+@pytest.fixture
+def scheduler() -> EventScheduler:
+    return EventScheduler()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_dumbbell() -> NetworkSpec:
+    """A 2-flow, 4 Mbps dumbbell that simulates quickly."""
+    return NetworkSpec(
+        link_rate_bps=4e6,
+        rtt=0.100,
+        n_flows=2,
+        queue="droptail",
+        buffer_packets=200,
+    )

@@ -1,0 +1,98 @@
+"""Unit and property-based tests for RemyCC actions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.action import (
+    Action,
+    MAX_INTERSEND_MS,
+    MAX_WINDOW_INCREMENT,
+    MAX_WINDOW_MULTIPLE,
+    MAX_WINDOW_PACKETS,
+    MIN_INTERSEND_MS,
+    MIN_WINDOW_INCREMENT,
+    MIN_WINDOW_MULTIPLE,
+)
+
+
+class TestAction:
+    def test_default_matches_paper(self):
+        action = Action.default()
+        assert action.window_multiple == 1.0
+        assert action.window_increment == 1.0
+        assert action.intersend_ms == 0.01
+
+    def test_apply_combines_multiple_and_increment(self):
+        action = Action(window_multiple=0.5, window_increment=3.0, intersend_ms=1.0)
+        assert action.apply(10.0) == pytest.approx(8.0)
+
+    def test_apply_never_negative(self):
+        action = Action(window_multiple=0.0, window_increment=-5.0, intersend_ms=1.0)
+        assert action.apply(10.0) == 0.0
+
+    def test_apply_capped(self):
+        action = Action(window_multiple=2.0, window_increment=100.0, intersend_ms=1.0)
+        assert action.apply(1e9) == MAX_WINDOW_PACKETS
+
+    def test_intersend_seconds(self):
+        assert Action(intersend_ms=5.0).intersend_seconds == pytest.approx(0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Action(window_multiple=-0.1)
+        with pytest.raises(ValueError):
+            Action(intersend_ms=0.0)
+
+    def test_neighbors_count_matches_paper_scale(self):
+        # magnitudes=2 gives 5*5*5 - 1 = 124 candidates ("roughly 100").
+        neighbors = list(Action.default().neighbors(magnitudes=2))
+        assert 100 <= len(neighbors) <= 124
+        assert Action.default() not in neighbors
+
+    def test_neighbors_single_magnitude(self):
+        neighbors = list(Action.default().neighbors(magnitudes=1))
+        assert 20 <= len(neighbors) <= 26
+
+    def test_neighbors_requires_positive_magnitudes(self):
+        with pytest.raises(ValueError):
+            list(Action.default().neighbors(magnitudes=0))
+
+    def test_with_values(self):
+        action = Action.default().with_values(window_increment=5.0)
+        assert action.window_increment == 5.0
+        assert action.window_multiple == 1.0
+
+    @given(
+        m=st.floats(min_value=0.0, max_value=MAX_WINDOW_MULTIPLE),
+        b=st.floats(min_value=MIN_WINDOW_INCREMENT, max_value=MAX_WINDOW_INCREMENT),
+        r=st.floats(min_value=MIN_INTERSEND_MS, max_value=MAX_INTERSEND_MS),
+        magnitudes=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_neighbors_always_within_bounds(self, m, b, r, magnitudes):
+        action = Action(m, b, r)
+        for candidate in action.neighbors(magnitudes=magnitudes):
+            assert MIN_WINDOW_MULTIPLE <= candidate.window_multiple <= MAX_WINDOW_MULTIPLE
+            assert MIN_WINDOW_INCREMENT <= candidate.window_increment <= MAX_WINDOW_INCREMENT
+            assert MIN_INTERSEND_MS <= candidate.intersend_ms <= MAX_INTERSEND_MS
+
+    @given(
+        m=st.floats(min_value=0.0, max_value=MAX_WINDOW_MULTIPLE),
+        b=st.floats(min_value=MIN_WINDOW_INCREMENT, max_value=MAX_WINDOW_INCREMENT),
+        window=st.floats(min_value=0.0, max_value=1e7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_apply_result_always_in_range(self, m, b, window):
+        action = Action(m, b, 1.0)
+        result = action.apply(window)
+        assert 0.0 <= result <= MAX_WINDOW_PACKETS
+
+    def test_clamped_respects_bounds(self):
+        action = Action(window_multiple=1.9, window_increment=300.0, intersend_ms=0.5)
+        # window_increment above the bound is only adjusted by clamped().
+        clamped = Action(
+            window_multiple=action.window_multiple,
+            window_increment=action.window_increment,
+            intersend_ms=action.intersend_ms,
+        ).clamped()
+        assert clamped.window_increment == MAX_WINDOW_INCREMENT

@@ -1,0 +1,150 @@
+"""Tests for the analysis helpers (ellipses, frontier, fairness, speedups)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.compare import format_speedup_table, speedup_table
+from repro.analysis.ellipse import fit_gaussian_ellipse
+from repro.analysis.fairness import jain_index, normalized_shares
+from repro.analysis.frontier import efficient_frontier, is_dominated
+from repro.analysis.summary import SchemeSummary, format_summary_table, summarize_runs
+from repro.netsim.simulator import SimulationResult
+from repro.netsim.stats import FlowStats
+
+
+def make_summary(name, tput, delay, n=8):
+    summary = SchemeSummary(name)
+    for i in range(n):
+        summary.add_point(tput + 0.01 * i, delay + 0.1 * i)
+    return summary
+
+
+class TestEllipse:
+    def test_fit_recovers_mean(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [10.0, 12.0, 14.0, 16.0]
+        ellipse = fit_gaussian_ellipse(xs, ys)
+        assert ellipse.mean_x == pytest.approx(2.5)
+        assert ellipse.mean_y == pytest.approx(13.0)
+        assert ellipse.n_points == 4
+
+    def test_perfect_correlation_gives_degenerate_minor_axis(self):
+        xs = list(range(10))
+        ys = [2 * x for x in xs]
+        ellipse = fit_gaussian_ellipse(xs, ys)
+        assert ellipse.semi_minor == pytest.approx(0.0, abs=1e-9)
+        assert ellipse.semi_major > 0
+
+    def test_contains_mean(self):
+        ellipse = fit_gaussian_ellipse([1, 2, 3, 4, 5], [5, 3, 8, 1, 9])
+        assert ellipse.contains(ellipse.mean_x, ellipse.mean_y)
+
+    def test_boundary_points_lie_on_contour(self):
+        ellipse = fit_gaussian_ellipse([1, 2, 3, 4, 5, 6], [2, 4, 3, 5, 7, 6])
+        for x, y in ellipse.boundary_points(16):
+            assert ellipse.contains(x, y, n_sigma=1.0 + 1e-6)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gaussian_ellipse([1, 2], [1])
+
+    @given(
+        xs=st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_axes_are_non_negative(self, xs):
+        ys = [x * 0.5 + 3 for x in xs]
+        ellipse = fit_gaussian_ellipse(xs, ys)
+        assert ellipse.semi_major >= ellipse.semi_minor >= 0
+
+
+class TestSummary:
+    def test_add_result_collects_active_flows(self):
+        stats = FlowStats(0)
+        stats.record_on_time(10.0)
+        stats.record_delivery(1_250_000)
+        stats.record_queue_delay(0.01)
+        result = SimulationResult(duration=10.0, flow_stats=[stats, FlowStats(1)])
+        summary = summarize_runs("test", [result])
+        assert summary.n_points == 1
+        assert summary.median_throughput_mbps() == pytest.approx(1.0)
+        assert summary.median_queue_delay_ms() == pytest.approx(10.0)
+
+    def test_ellipse_requires_two_points(self):
+        summary = SchemeSummary("x")
+        summary.add_point(1.0, 1.0)
+        assert summary.ellipse() is None
+        summary.add_point(2.0, 2.0)
+        assert summary.ellipse() is not None
+
+    def test_format_table_contains_all_schemes(self):
+        table = format_summary_table([make_summary("a", 1, 10), make_summary("b", 2, 5)])
+        assert "a" in table and "b" in table
+
+    def test_as_row(self):
+        row = make_summary("scheme", 1.5, 12.0).as_row()
+        assert row["scheme"] == "scheme"
+        assert row["points"] == 8
+
+
+class TestFrontier:
+    def test_dominated_scheme_detected(self):
+        good = make_summary("good", 2.0, 5.0)
+        bad = make_summary("bad", 1.0, 10.0)
+        assert is_dominated(bad, [good, bad])
+        assert not is_dominated(good, [good, bad])
+
+    def test_frontier_keeps_tradeoff_points(self):
+        fast = make_summary("fast", 2.0, 20.0)
+        low_delay = make_summary("low-delay", 1.0, 2.0)
+        dominated = make_summary("dominated", 0.9, 25.0)
+        frontier = efficient_frontier([fast, low_delay, dominated])
+        names = [s.scheme for s in frontier]
+        assert names == ["fast", "low-delay"]
+
+
+class TestFairness:
+    def test_jain_perfectly_fair(self):
+        assert jain_index([1.0, 1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_jain_single_user_hogging(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_normalized_shares_sum_to_one(self):
+        shares = normalized_shares([1.0, 3.0, 4.0])
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares[2] == pytest.approx(0.5)
+
+    def test_all_zero_allocations(self):
+        assert normalized_shares([0.0, 0.0]) == [0.0, 0.0]
+
+    def test_jain_requires_values(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_jain_bounds(self, values):
+        index = jain_index(values)
+        assert 0.0 < index <= 1.0 + 1e-9
+
+
+class TestSpeedupTable:
+    def test_speedups_relative_to_baselines(self):
+        remy = make_summary("Remy", 2.0, 5.0)
+        cubic = make_summary("Cubic", 1.0, 15.0)
+        vegas = make_summary("Vegas", 0.5, 2.5)
+        rows = speedup_table(remy, [cubic, vegas])
+        by_name = {row.baseline: row for row in rows}
+        assert by_name["Cubic"].median_speedup == pytest.approx(2.0, rel=0.05)
+        assert by_name["Cubic"].median_delay_reduction == pytest.approx(3.0, rel=0.2)
+        # Vegas has lower delay than the RemyCC: reduction below 1 (the paper's down-arrow).
+        assert by_name["Vegas"].median_delay_reduction < 1.0
+
+    def test_format_table(self):
+        remy = make_summary("Remy", 2.0, 5.0)
+        cubic = make_summary("Cubic", 1.0, 15.0)
+        text = format_speedup_table(speedup_table(remy, [cubic]), remycc_name="Remy")
+        assert "Cubic" in text and "x" in text

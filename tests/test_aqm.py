@@ -1,0 +1,120 @@
+"""Unit tests for the RED and CoDel active-queue-management disciplines."""
+
+import random
+
+from repro.netsim.aqm import CoDelQueue, REDQueue
+from repro.netsim.packet import Packet
+
+
+def _packet(seq: int, ecn: bool = False) -> Packet:
+    packet = Packet(flow_id=0, seq=seq)
+    packet.ecn_capable = ecn
+    return packet
+
+
+class TestRED:
+    def test_accepts_below_min_threshold(self):
+        queue = REDQueue(capacity_packets=100, min_thresh=20, max_thresh=60)
+        for seq in range(10):
+            assert queue.enqueue(_packet(seq), 0.0)
+        assert queue.drops == 0
+        assert queue.marks == 0
+
+    def test_hard_drop_at_capacity(self):
+        queue = REDQueue(capacity_packets=5, min_thresh=2, max_thresh=4, ecn=False)
+        for seq in range(20):
+            queue.enqueue(_packet(seq), 0.0)
+        assert len(queue) <= 5
+        assert queue.drops > 0
+
+    def test_dctcp_mode_marks_above_threshold(self):
+        queue = REDQueue(
+            capacity_packets=100, min_thresh=5, max_thresh=6, dctcp_mode=True, ecn=True
+        )
+        marked = 0
+        for seq in range(30):
+            packet = _packet(seq, ecn=True)
+            queue.enqueue(packet, 0.0)
+            marked += packet.ecn_marked
+        # Everything after the queue reached 5 packets should be marked.
+        assert marked == 30 - 5
+        assert queue.marks == marked
+
+    def test_dctcp_mode_drops_non_ecn_flows(self):
+        queue = REDQueue(
+            capacity_packets=100, min_thresh=3, max_thresh=4, dctcp_mode=True, ecn=True
+        )
+        for seq in range(10):
+            queue.enqueue(_packet(seq, ecn=False), 0.0)
+        assert queue.drops == 7
+        assert len(queue) == 3
+
+    def test_probabilistic_marking_between_thresholds(self):
+        queue = REDQueue(
+            capacity_packets=500,
+            min_thresh=5,
+            max_thresh=20,
+            max_p=0.5,
+            weight=1.0,  # track the instantaneous queue for a deterministic-ish test
+            ecn=False,
+            rng=random.Random(7),
+        )
+        for seq in range(200):
+            queue.enqueue(_packet(seq), 0.0)
+            if seq % 3 == 0:
+                queue.dequeue(0.0)
+        assert queue.drops > 0
+
+    def test_invalid_thresholds_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            REDQueue(min_thresh=10, max_thresh=5)
+
+
+class TestCoDel:
+    def test_no_drops_when_sojourn_below_target(self):
+        queue = CoDelQueue(target=0.005, interval=0.1)
+        for seq in range(50):
+            queue.enqueue(_packet(seq), now=seq * 0.001)
+            out = queue.dequeue(now=seq * 0.001 + 0.001)  # 1 ms sojourn < 5 ms target
+            assert out is not None
+        assert queue.drops == 0
+
+    def test_drops_when_persistently_above_target(self):
+        queue = CoDelQueue(target=0.005, interval=0.1)
+        # Fill the queue, then drain it slowly so every packet has a large
+        # sojourn time for longer than one interval.
+        for seq in range(400):
+            queue.enqueue(_packet(seq), now=0.0)
+        now = 0.05
+        delivered = 0
+        for _ in range(400):
+            packet = queue.dequeue(now)
+            if packet is not None:
+                delivered += 1
+            now += 0.01
+        assert queue.drops > 0
+        assert delivered + queue.drops <= 400
+
+    def test_recovers_when_queue_empties(self):
+        queue = CoDelQueue(target=0.005, interval=0.1)
+        for seq in range(200):
+            queue.enqueue(_packet(seq), now=0.0)
+        now = 1.0
+        while len(queue) > 0:
+            queue.dequeue(now)
+            now += 0.02
+        drops_after_congestion = queue.drops
+        # A subsequent uncongested period should see no further drops.
+        for seq in range(50):
+            queue.enqueue(_packet(seq), now=now + seq * 0.01)
+            queue.dequeue(now=now + seq * 0.01 + 0.001)
+        assert queue.drops == drops_after_congestion
+
+    def test_capacity_limit_still_applies(self):
+        queue = CoDelQueue(capacity_packets=10)
+        for seq in range(20):
+            queue.enqueue(_packet(seq), 0.0)
+        assert len(queue) == 10
+        assert queue.drops == 10

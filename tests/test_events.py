@@ -1,0 +1,107 @@
+"""Unit tests for the event scheduler."""
+
+import pytest
+
+from repro.netsim.events import EventScheduler, SimulationError
+
+
+def test_initial_time_is_zero(scheduler):
+    assert scheduler.now == 0.0
+    assert scheduler.events_processed == 0
+    assert scheduler.pending == 0
+
+
+def test_events_run_in_time_order(scheduler):
+    order = []
+    scheduler.schedule(2.0, order.append, "b")
+    scheduler.schedule(1.0, order.append, "a")
+    scheduler.schedule(3.0, order.append, "c")
+    scheduler.run()
+    assert order == ["a", "b", "c"]
+    assert scheduler.now == 3.0
+
+
+def test_ties_run_in_scheduling_order(scheduler):
+    order = []
+    for label in "abcde":
+        scheduler.schedule(1.0, order.append, label)
+    scheduler.run()
+    assert order == list("abcde")
+
+
+def test_schedule_after_uses_relative_delay(scheduler):
+    seen = []
+
+    def chain():
+        scheduler.schedule_after(0.5, lambda: seen.append(scheduler.now))
+
+    scheduler.schedule(1.0, chain)
+    scheduler.run()
+    assert seen == [1.5]
+
+
+def test_cannot_schedule_in_the_past(scheduler):
+    scheduler.schedule(1.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(SimulationError):
+        scheduler.schedule(0.5, lambda: None)
+
+
+def test_negative_delay_rejected(scheduler):
+    with pytest.raises(SimulationError):
+        scheduler.schedule_after(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_run(scheduler):
+    calls = []
+    event = scheduler.schedule(1.0, calls.append, "x")
+    event.cancel()
+    scheduler.run()
+    assert calls == []
+    assert scheduler.events_processed == 0
+
+
+def test_run_until_stops_at_deadline(scheduler):
+    calls = []
+    scheduler.schedule(1.0, calls.append, 1)
+    scheduler.schedule(2.0, calls.append, 2)
+    scheduler.schedule(5.0, calls.append, 5)
+    executed = scheduler.run_until(3.0)
+    assert executed == 2
+    assert calls == [1, 2]
+    assert scheduler.now == 3.0
+    # The remaining event still runs later.
+    scheduler.run_until(10.0)
+    assert calls == [1, 2, 5]
+
+
+def test_run_until_advances_time_even_with_no_events(scheduler):
+    scheduler.run_until(7.5)
+    assert scheduler.now == 7.5
+
+
+def test_max_events_guard(scheduler):
+    def reschedule():
+        scheduler.schedule_after(0.001, reschedule)
+
+    scheduler.schedule(0.0, reschedule)
+    with pytest.raises(SimulationError):
+        scheduler.run_until(100.0, max_events=50)
+
+
+def test_peek_time_skips_cancelled(scheduler):
+    first = scheduler.schedule(1.0, lambda: None)
+    scheduler.schedule(2.0, lambda: None)
+    first.cancel()
+    assert scheduler.peek_time() == 2.0
+
+
+def test_step_returns_false_when_empty(scheduler):
+    assert scheduler.step() is False
+
+
+def test_events_processed_counter(scheduler):
+    for i in range(5):
+        scheduler.schedule(i * 0.1, lambda: None)
+    scheduler.run()
+    assert scheduler.events_processed == 5

@@ -1,0 +1,166 @@
+"""Smoke and shape tests for the experiment harnesses.
+
+These use deliberately tiny run counts and durations so the full suite stays
+fast; the benchmarks exercise the same harnesses at larger (still scaled)
+sizes and EXPERIMENTS.md records the qualitative comparison with the paper.
+"""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, SchemeSpec, remycc_scheme, standard_schemes
+from repro.experiments.competing import run_vs_compound, run_vs_cubic
+from repro.experiments.convergence import run_figure6
+from repro.experiments.datacenter import run_datacenter
+from repro.experiments.dumbbell import dumbbell_spec, run_figure4, run_figure5
+from repro.experiments.prior_knowledge import run_figure11
+from repro.experiments.rtt_fairness import FIGURE10_RTTS, format_figure10, run_figure10
+from repro.experiments.summary_tables import run_dumbbell_summary
+from repro.protocols.cubic import Cubic
+from repro.protocols.newreno import NewReno
+
+#: A reduced comparison set used by the smoke tests (fast but representative).
+FAST_SCHEMES = [
+    SchemeSpec("NewReno", NewReno),
+    SchemeSpec("Cubic", Cubic),
+    remycc_scheme("delta1", label="Remy d=1"),
+]
+
+
+class TestBase:
+    def test_standard_schemes_cover_paper_comparison_set(self):
+        names = {scheme.name for scheme in standard_schemes()}
+        for expected in ("NewReno", "Vegas", "Cubic", "Compound", "Cubic/sfqCoDel", "XCP"):
+            assert expected in names
+        assert any(name.startswith("Remy") for name in names)
+
+    def test_experiment_result_frontier(self):
+        from repro.analysis.summary import SchemeSummary
+
+        result = ExperimentResult("x")
+        fast = SchemeSummary("fast")
+        fast.add_point(2.0, 20.0)
+        fast.add_point(2.1, 21.0)
+        slow = SchemeSummary("slow")
+        slow.add_point(0.5, 30.0)
+        slow.add_point(0.6, 31.0)
+        result.add(fast)
+        result.add(slow)
+        assert result.frontier_names() == ["fast"]
+        assert "fast" in result.format_table()
+
+    def test_dumbbell_spec_matches_paper_parameters(self):
+        spec = dumbbell_spec(8)
+        assert spec.link_rate_bps == 15e6
+        assert spec.rtt_for_flow(0) == 0.150
+        assert spec.buffer_packets == 1000
+        assert spec.queue == "droptail"
+
+
+class TestDumbbell:
+    def test_figure4_smoke(self):
+        result = run_figure4(n_flows=4, n_runs=1, duration=8.0, schemes=FAST_SCHEMES)
+        assert set(result.schemes()) == {s.name for s in FAST_SCHEMES}
+        for summary in result.summaries.values():
+            assert summary.n_points > 0
+            assert summary.median_throughput_mbps() > 0
+
+    def test_figure4_remy_outperforms_newreno(self):
+        result = run_figure4(n_flows=4, n_runs=2, duration=12.0, schemes=FAST_SCHEMES)
+        assert (
+            result["Remy d=1"].median_throughput_mbps()
+            > result["NewReno"].median_throughput_mbps()
+        )
+
+    def test_figure5_smoke(self):
+        result = run_figure5(n_flows=4, n_runs=1, duration=8.0, schemes=FAST_SCHEMES)
+        assert len(result.summaries) == len(FAST_SCHEMES)
+
+
+class TestConvergence:
+    def test_flow_speeds_up_when_competitor_departs(self):
+        result = run_figure6(duration=16.0, departure_time=8.0)
+        assert result.rate_after_mbps > result.rate_before_mbps
+        assert result.sequence_trace
+        assert result.rate_after_mbps < result.link_rate_mbps * 1.05
+
+    def test_invalid_departure_time(self):
+        with pytest.raises(ValueError):
+            run_figure6(duration=10.0, departure_time=20.0)
+
+
+class TestRttFairness:
+    def test_share_profile_structure(self):
+        results = run_figure10(n_runs=1, duration=10.0)
+        assert {r.scheme for r in results} >= {"Cubic/sfqCoDel"}
+        for result in results:
+            assert len(result.shares) == len(FIGURE10_RTTS)
+            assert sum(result.shares) == pytest.approx(1.0, abs=1e-6)
+            assert 0 < result.jain <= 1.0
+        assert "Figure 10" in format_figure10(results)
+
+    def test_shorter_rtt_gets_no_smaller_share_for_cubic(self):
+        results = run_figure10(n_runs=2, duration=15.0)
+        cubic = next(r for r in results if r.scheme == "Cubic/sfqCoDel")
+        # RTT unfairness: the 50 ms flow should do at least as well as the 200 ms flow.
+        assert cubic.shares[0] >= cubic.shares[-1] - 0.05
+
+
+class TestDatacenter:
+    def test_scaled_datacenter_run(self):
+        result = run_datacenter(scale=32, duration=1.5)
+        assert result.n_flows == 2
+        assert result.dctcp.mean_throughput_mbps > 0
+        assert result.remycc.mean_throughput_mbps > 0
+        assert "Datacenter" in result.format_table()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            run_datacenter(scale=7)
+
+
+class TestCompeting:
+    def test_vs_cubic_produces_rows(self):
+        result = run_vs_cubic(mean_flow_bytes=(100e3,), n_runs=1, duration=10.0)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.remy_mean_mbps > 0
+        assert row.other_mean_mbps > 0
+        assert "Cubic" in result.format_table()
+
+    def test_vs_compound_produces_rows(self):
+        result = run_vs_compound(off_times_seconds=(0.2,), n_runs=1, duration=10.0)
+        assert len(result.rows) == 1
+        assert result.rows[0].other_name == "Compound"
+
+
+class TestPriorKnowledge:
+    def test_figure11_structure_and_shape(self):
+        result = run_figure11(
+            link_speeds_mbps=(4.7, 15.0, 47.0),
+            n_runs=1,
+            duration=10.0,
+        )
+        assert set(result.schemes()) == {"RemyCC 1x", "RemyCC 10x", "Cubic/sfqCoDel"}
+        # The 1x table should be at least competitive at its design point...
+        at_design = result.score_at("RemyCC 1x", 15.0)
+        assert at_design > result.score_at("RemyCC 1x", 47.0) - 2.0
+        # ...and the 10x table should not collapse anywhere inside its range.
+        for speed in (4.7, 15.0, 47.0):
+            assert result.score_at("RemyCC 10x", speed) > -6.0
+        assert "Figure 11" in result.format_table()
+
+
+class TestSummaryTables:
+    def test_dumbbell_summary_rows(self):
+        table = run_dumbbell_summary(
+            n_runs=1,
+            duration=8.0,
+            remy_scheme="Remy d=1",
+            schemes=FAST_SCHEMES,
+        )
+        assert table.remycc == "Remy d=1"
+        names = {row.baseline for row in table.rows}
+        assert names == {"NewReno", "Cubic"}
+        assert table.row_for("Cubic").median_speedup > 0
+        assert "speedup" in table.name or "Summary" in table.name
+        assert "NewReno" in table.format()

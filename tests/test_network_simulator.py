@@ -1,0 +1,131 @@
+"""Integration tests for the dumbbell topology and simulation driver."""
+
+import pytest
+
+from repro.netsim.network import NetworkSpec, QUEUE_KINDS
+from repro.netsim.sender import AlwaysOnWorkload
+from repro.netsim.simulator import Simulation, run_simulation
+from repro.protocols.constant_rate import ConstantRate
+from repro.protocols.newreno import NewReno
+from repro.traffic.onoff import ByteFlowWorkload
+
+
+class TestNetworkSpec:
+    def test_defaults_are_valid(self):
+        spec = NetworkSpec()
+        assert spec.rtt_for_flow(0) == 0.150
+        assert spec.bandwidth_delay_product_packets() == pytest.approx(187.5)
+
+    def test_per_flow_rtts(self):
+        spec = NetworkSpec(rtt=[0.05, 0.1, 0.15, 0.2], n_flows=4)
+        assert spec.rtt_for_flow(0) == 0.05
+        assert spec.rtt_for_flow(3) == 0.2
+
+    def test_per_flow_rtt_length_mismatch(self):
+        spec = NetworkSpec(rtt=[0.05], n_flows=2)
+        with pytest.raises(ValueError):
+            spec.rtt_for_flow(1)
+
+    def test_unknown_queue_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(queue="mystery")
+
+    @pytest.mark.parametrize("kind", QUEUE_KINDS)
+    def test_every_queue_kind_instantiates(self, kind):
+        spec = NetworkSpec(queue=kind)
+        queue = spec.make_queue()
+        assert queue is not None
+
+    def test_callable_queue_factory(self):
+        from repro.netsim.queue import DropTailQueue
+
+        spec = NetworkSpec(queue=lambda: DropTailQueue(capacity_packets=7))
+        queue = spec.make_queue()
+        assert queue.capacity_packets == 7
+
+    def test_effective_rate_from_trace(self):
+        trace = [i * 0.01 for i in range(101)]  # 100 packets/s
+        spec = NetworkSpec(delivery_trace=trace)
+        assert spec.effective_rate_bps() == pytest.approx(100 * 1500 * 8)
+
+    def test_invalid_flow_count(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(n_flows=0)
+
+
+class TestSimulation:
+    def test_constant_rate_below_capacity_sees_no_queueing(self):
+        # 2 Mbps offered on a 10 Mbps link: no queue should build.
+        spec = NetworkSpec(link_rate_bps=10e6, rtt=0.1, n_flows=1)
+        protocols = [ConstantRate(rate_pps=2e6 / (1500 * 8))]
+        result = Simulation(spec, protocols, [AlwaysOnWorkload()], duration=5.0, seed=0).run()
+        assert result.flow_stats[0].avg_queue_delay_ms() < 1.0
+        assert result.flow_stats[0].throughput_mbps() == pytest.approx(2.0, rel=0.1)
+
+    def test_constant_rate_above_capacity_fills_buffer(self):
+        spec = NetworkSpec(link_rate_bps=5e6, rtt=0.1, n_flows=1, buffer_packets=100)
+        protocols = [ConstantRate(rate_pps=10e6 / (1500 * 8))]
+        result = Simulation(spec, protocols, [AlwaysOnWorkload()], duration=5.0, seed=0).run()
+        # The link saturates and the tail-drop buffer overflows.
+        assert result.flow_stats[0].throughput_mbps() == pytest.approx(5.0, rel=0.15)
+        assert result.queue_drops > 0
+
+    def test_single_newreno_flow_achieves_high_utilization(self):
+        spec = NetworkSpec(link_rate_bps=4e6, rtt=0.1, n_flows=1, buffer_packets=200)
+        result = Simulation(spec, [NewReno()], [AlwaysOnWorkload()], duration=20.0, seed=0).run()
+        assert result.flow_stats[0].throughput_mbps() > 3.0
+
+    def test_two_flows_share_the_bottleneck(self, small_dumbbell):
+        protocols = [NewReno(), NewReno()]
+        workloads = [AlwaysOnWorkload(), AlwaysOnWorkload(start_delay=1.0)]
+        result = Simulation(small_dumbbell, protocols, workloads, duration=20.0, seed=1).run()
+        tputs = result.throughputs_mbps()
+        assert sum(tputs) <= 4.0 * 1.05  # cannot exceed the link
+        assert min(tputs) > 0.3  # both flows make progress
+
+    def test_reproducibility_with_same_seed(self, small_dumbbell):
+        def run(seed):
+            protocols = [NewReno(), NewReno()]
+            workloads = [
+                ByteFlowWorkload.exponential(50e3, 0.2) for _ in range(2)
+            ]
+            return Simulation(small_dumbbell, protocols, workloads, duration=5.0, seed=seed).run()
+
+        a = run(7)
+        b = run(7)
+        c = run(8)
+        assert a.throughputs_mbps() == b.throughputs_mbps()
+        assert a.events_processed == b.events_processed
+        assert a.throughputs_mbps() != c.throughputs_mbps()
+
+    def test_protocol_count_must_match_flows(self, small_dumbbell):
+        with pytest.raises(ValueError):
+            Simulation(small_dumbbell, [NewReno()], None, duration=1.0)
+
+    def test_workload_count_must_match_flows(self, small_dumbbell):
+        with pytest.raises(ValueError):
+            Simulation(small_dumbbell, [NewReno(), NewReno()], [None], duration=1.0)
+
+    def test_run_simulation_wrapper(self, small_dumbbell):
+        result = run_simulation(
+            small_dumbbell, [NewReno(), NewReno()], None, duration=2.0, seed=0
+        )
+        assert result.duration == 2.0
+        assert len(result.flow_stats) == 2
+
+    def test_result_summary_helpers(self, small_dumbbell):
+        result = run_simulation(
+            small_dumbbell, [NewReno(), NewReno()], None, duration=5.0, seed=0
+        )
+        assert result.median_throughput_mbps() > 0
+        assert result.mean_throughput_mbps() > 0
+        assert result.total_bytes_received() > 0
+        assert result.median_queue_delay_ms() >= 0
+
+    def test_trace_driven_bottleneck_caps_throughput(self):
+        # 200 delivery opportunities per second -> 2.4 Mbps ceiling.
+        trace = [i * 0.005 for i in range(1, 2001)]
+        spec = NetworkSpec(delivery_trace=trace, rtt=0.05, n_flows=1)
+        result = Simulation(spec, [NewReno()], [AlwaysOnWorkload()], duration=8.0, seed=0).run()
+        assert result.flow_stats[0].throughput_mbps() <= 2.4 * 1.05
+        assert result.flow_stats[0].throughput_mbps() > 1.0

@@ -1,0 +1,58 @@
+"""Unit tests for packets and acknowledgment construction."""
+
+from repro.netsim.packet import ACK_PACKET_BYTES, DATA_PACKET_BYTES, AckInfo, Packet
+
+
+def test_data_packet_defaults():
+    packet = Packet(flow_id=3, seq=7, sent_time=1.25)
+    assert packet.flow_id == 3
+    assert packet.seq == 7
+    assert packet.size_bytes == DATA_PACKET_BYTES
+    assert not packet.is_ack
+    assert packet.sent_time == 1.25
+    assert packet.first_sent_time == 1.25
+    assert not packet.retransmit
+    assert not packet.ecn_marked
+
+
+def test_make_ack_echoes_fields():
+    packet = Packet(flow_id=1, seq=10, sent_time=2.0)
+    packet.ecn_marked = True
+    packet.xcp_feedback = 3.5
+    ack = packet.make_ack(ack_seq=11, receiver_time=2.4)
+    assert ack.is_ack
+    assert ack.flow_id == 1
+    assert ack.ack_seq == 11
+    assert ack.sacked_seq == 10
+    assert ack.echo_sent_time == 2.0
+    assert ack.receiver_time == 2.4
+    assert ack.size_bytes == ACK_PACKET_BYTES
+    assert ack.ecn_echo is True
+    assert ack.xcp_feedback == 3.5
+
+
+def test_make_ack_carries_retransmit_flag():
+    packet = Packet(flow_id=0, seq=5, sent_time=1.0)
+    packet.retransmit = True
+    ack = packet.make_ack(ack_seq=6, receiver_time=1.2)
+    assert ack.retransmit is True
+
+
+def test_ack_info_is_frozen():
+    info = AckInfo(
+        now=1.0,
+        acked_seq=1,
+        cumulative_ack=2,
+        newly_acked_bytes=1500,
+        rtt=0.1,
+        min_rtt=0.1,
+        echo_sent_time=0.9,
+        receiver_time=0.95,
+    )
+    assert info.rtt == 0.1
+    try:
+        info.rtt = 0.2  # type: ignore[misc]
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

@@ -1,0 +1,145 @@
+"""Tests for the pretrained rule tables and the RemyCC runtime protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.action import MIN_INTERSEND_MS
+from repro.core.memory import MAX_MEMORY, Memory
+from repro.core.pretrained import (
+    PolicySettings,
+    pretrained_remycc,
+    pretrained_tree_names,
+    synthesize_remycc,
+)
+from repro.netsim.packet import AckInfo
+from repro.protocols.remycc import RemyCCProtocol
+
+coords = st.floats(min_value=0.0, max_value=MAX_MEMORY, allow_nan=False)
+
+
+class TestPretrainedTables:
+    def test_all_names_build(self):
+        for name in pretrained_tree_names():
+            tree = pretrained_remycc(name)
+            assert len(tree) > 50  # comparable to the paper's 162-204 rules
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            pretrained_remycc("nope")
+
+    def test_lookup_is_total_over_memory_space(self):
+        tree = pretrained_remycc("delta1")
+        for memory in [
+            Memory(0, 0, 0),
+            Memory(MAX_MEMORY, MAX_MEMORY, MAX_MEMORY),
+            Memory(0.01, 5000, 1.0),
+            Memory(300, 0, 2.5),
+        ]:
+            action = tree.action_for(memory)
+            assert action.intersend_ms > 0
+
+    @given(point=st.tuples(coords, coords, coords))
+    @settings(max_examples=100, deadline=None)
+    def test_every_memory_value_maps_to_exactly_one_rule(self, point):
+        tree = pretrained_remycc("delta0.1")
+        memory = Memory(*point)
+        matching = [w for w in tree.whiskers() if w.domain.contains(memory)]
+        assert len(matching) == 1
+
+    def test_delay_weight_orders_target_aggressiveness(self):
+        """A congested memory state should make d=10 pace slower than d=0.1."""
+        congested = Memory(ack_ewma=8.0, send_ewma=8.0, rtt_ratio=1.3)
+        a01 = pretrained_remycc("delta0.1").action_for(congested)
+        a10 = pretrained_remycc("delta10").action_for(congested)
+        # The delay-sensitive table must not be more aggressive in this state.
+        assert a10.window_increment <= a01.window_increment
+
+    def test_known_link_speed_caps_pacing_rate(self):
+        tree = pretrained_remycc("1x")
+        fast_state = Memory(ack_ewma=0.1, send_ewma=0.1, rtt_ratio=1.05)
+        action = tree.action_for(fast_state)
+        # 15 Mbps is 1250 packets/s: the 1x table never paces much faster.
+        assert action.intersend_ms >= 1000.0 / (1250 * 1.06)
+
+    def test_policy_settings_validation(self):
+        with pytest.raises(ValueError):
+            PolicySettings(target_ratio=0.9)
+        with pytest.raises(ValueError):
+            PolicySettings(target_ratio=1.2, growth_per_ms=0)
+        with pytest.raises(ValueError):
+            PolicySettings(target_ratio=1.2, backoff_multiple=1.5)
+
+    def test_synthesize_custom_policy(self):
+        tree = synthesize_remycc("custom", PolicySettings(target_ratio=1.4))
+        assert tree.name == "custom"
+        assert tree.action_for(Memory(1, 1, 1.1)).intersend_ms >= MIN_INTERSEND_MS
+
+
+class TestRemyCCProtocol:
+    def _ack(self, now, rtt, seq=0):
+        return AckInfo(
+            now=now,
+            acked_seq=seq,
+            cumulative_ack=seq + 1,
+            newly_acked_bytes=1500,
+            rtt=rtt,
+            min_rtt=rtt,
+            echo_sent_time=now - rtt,
+            receiver_time=now - rtt / 2,
+        )
+
+    def test_flow_start_applies_startup_rule(self):
+        tree = pretrained_remycc("delta1")
+        cc = RemyCCProtocol(tree)
+        cc.reset(now=0.0)
+        startup_action = tree.action_for(Memory.initial())
+        assert cc.cwnd == pytest.approx(startup_action.apply(1.0))
+        assert cc.intersend_time == pytest.approx(startup_action.intersend_seconds)
+
+    def test_acks_drive_window_through_rule_table(self):
+        tree = pretrained_remycc("delta1")
+        cc = RemyCCProtocol(tree)
+        cc.reset(0.0)
+        before = cc.cwnd
+        now = 0.15
+        for i in range(20):
+            cc.on_ack(self._ack(now, rtt=0.15, seq=i))
+            now += 0.01
+        assert cc.cwnd != before
+        assert cc.intersend_time > 0
+
+    def test_memory_resets_between_flows(self):
+        tree = pretrained_remycc("delta1")
+        cc = RemyCCProtocol(tree)
+        cc.reset(0.0)
+        cc.on_ack(self._ack(0.15, rtt=0.15))
+        assert cc.memory.rtt_ratio > 0
+        cc.reset(5.0)
+        assert cc.memory == Memory.initial()
+
+    def test_loss_is_not_a_congestion_signal(self):
+        tree = pretrained_remycc("delta0.1")
+        cc = RemyCCProtocol(tree)
+        cc.reset(0.0)
+        window = cc.cwnd
+        cc.on_loss(1.0)
+        assert cc.cwnd == window
+
+    def test_timeout_collapses_window(self):
+        tree = pretrained_remycc("delta0.1")
+        cc = RemyCCProtocol(tree)
+        cc.reset(0.0)
+        cc.on_timeout(1.0)
+        assert cc.cwnd == 1.0
+
+    def test_training_mode_records_use_counts(self):
+        tree = pretrained_remycc("delta1")
+        cc = RemyCCProtocol(tree, training=True)
+        cc.reset(0.0)
+        cc.on_ack(self._ack(0.15, rtt=0.15))
+        assert tree.total_use_count() == 1
+
+    def test_label_defaults_to_tree_name(self):
+        tree = pretrained_remycc("delta10")
+        assert RemyCCProtocol(tree).name == tree.name
+        assert RemyCCProtocol(tree, label="custom").name == "custom"

@@ -1,0 +1,238 @@
+"""Unit tests for the end-to-end congestion-control baselines."""
+
+import pytest
+
+from repro.netsim.packet import AckInfo
+from repro.protocols import PROTOCOLS
+from repro.protocols.aimd import AIMD
+from repro.protocols.compound import CompoundTCP
+from repro.protocols.constant_rate import ConstantRate
+from repro.protocols.cubic import Cubic
+from repro.protocols.dctcp import DCTCP
+from repro.protocols.newreno import NewReno
+from repro.protocols.vegas import Vegas
+
+
+def make_ack(now=1.0, rtt=0.1, newly_acked=1500, ecn=False, seq=0):
+    return AckInfo(
+        now=now,
+        acked_seq=seq,
+        cumulative_ack=seq + 1,
+        newly_acked_bytes=newly_acked,
+        rtt=rtt,
+        min_rtt=rtt,
+        echo_sent_time=now - rtt,
+        receiver_time=now - rtt / 2,
+        ecn_echo=ecn,
+    )
+
+
+def feed_acks(cc, count, rtt=0.1, start=1.0, spacing=0.01, ecn=False):
+    now = start
+    for i in range(count):
+        cc.on_ack(make_ack(now=now, rtt=rtt, seq=i, ecn=ecn))
+        now += spacing
+    return cc
+
+
+class TestRegistry:
+    def test_registry_contains_all_protocols(self):
+        expected = {"aimd", "constant", "newreno", "vegas", "cubic", "compound", "dctcp", "xcp", "remy"}
+        assert expected == set(PROTOCOLS)
+
+
+class TestNewReno:
+    def test_slow_start_doubles_per_rtt(self):
+        cc = NewReno(initial_window=2)
+        feed_acks(cc, 10)
+        assert cc.cwnd == pytest.approx(12.0)
+
+    def test_congestion_avoidance_is_linear(self):
+        cc = NewReno(initial_window=10, initial_ssthresh=10)
+        before = cc.cwnd
+        feed_acks(cc, 10)
+        # Roughly +1 packet per window's worth of ACKs.
+        assert before < cc.cwnd < before + 1.5
+
+    def test_loss_halves_window(self):
+        cc = NewReno(initial_window=2)
+        feed_acks(cc, 30)
+        before = cc.cwnd
+        cc.on_loss(now=2.0)
+        assert cc.cwnd == pytest.approx(before / 2)
+
+    def test_timeout_resets_to_initial_window(self):
+        cc = NewReno(initial_window=4)
+        feed_acks(cc, 30)
+        cc.on_timeout(now=2.0)
+        assert cc.cwnd == 4.0
+
+    def test_reset_restores_slow_start(self):
+        cc = NewReno()
+        feed_acks(cc, 30)
+        cc.on_loss(2.0)
+        cc.reset(3.0)
+        assert cc.in_slow_start
+
+    def test_duplicate_acks_do_not_grow_window(self):
+        cc = NewReno(initial_window=2)
+        before = cc.cwnd
+        cc.on_ack(make_ack(newly_acked=0))
+        assert cc.cwnd == before
+
+
+class TestVegas:
+    def test_grows_when_rtt_at_baseline(self):
+        cc = Vegas(initial_window=2)
+        feed_acks(cc, 20, rtt=0.1)
+        assert cc.cwnd > 2
+
+    def test_backs_off_when_rtt_inflates(self):
+        cc = Vegas(initial_window=2)
+        feed_acks(cc, 20, rtt=0.1)
+        grown = cc.cwnd
+        # Now the RTT doubles: the backlog estimate exceeds beta, so Vegas shrinks.
+        feed_acks(cc, 40, rtt=0.2, start=2.0)
+        assert cc.cwnd < grown + 1
+
+    def test_holds_within_alpha_beta_band(self):
+        cc = Vegas(alpha=1, beta=3, initial_window=20)
+        cc.ssthresh = 1  # force congestion avoidance
+        cc.base_rtt = 0.1
+        # rtt such that diff = cwnd*(1 - base/rtt) ~ 2 packets: inside [1, 3].
+        rtt = 0.1 * 20 / 18
+        before = cc.cwnd
+        cc.on_ack(make_ack(rtt=rtt))
+        assert cc.cwnd == pytest.approx(before, abs=1e-6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Vegas(alpha=3, beta=1)
+
+
+class TestCubic:
+    def test_slow_start_then_cubic_growth(self):
+        cc = Cubic(initial_window=2)
+        feed_acks(cc, 10)
+        assert cc.cwnd > 10
+
+    def test_loss_reduces_by_beta(self):
+        cc = Cubic(initial_window=10)
+        feed_acks(cc, 50)
+        before = cc.cwnd
+        cc.on_loss(now=2.0)
+        assert cc.cwnd == pytest.approx(before * 0.7, rel=1e-6)
+
+    def test_growth_after_loss_plateaus_near_wmax(self):
+        cc = Cubic(initial_window=10)
+        feed_acks(cc, 100)
+        w_max = cc.cwnd
+        cc.on_loss(now=2.0)
+        # Shortly after the loss the window stays below the previous maximum.
+        feed_acks(cc, 30, start=2.1)
+        assert cc.cwnd < w_max * 1.1
+
+    def test_cubic_growth_independent_of_rtt(self):
+        # Same wall-clock time, different RTT: window targets should match.
+        def grown(rtt):
+            cc = Cubic(initial_window=20)
+            cc.ssthresh = 1
+            cc.w_max = 40
+            now = 0.0
+            for i in range(40):
+                cc.on_ack(make_ack(now=now, rtt=rtt, seq=i))
+                now += 0.05
+            return cc.cwnd
+
+        assert grown(0.05) == pytest.approx(grown(0.2), rel=0.25)
+
+
+class TestCompound:
+    def test_window_is_sum_of_components(self):
+        cc = CompoundTCP(initial_window=4)
+        feed_acks(cc, 20, rtt=0.1)
+        assert cc.cwnd == pytest.approx(max(2.0, cc.cwnd_loss + cc.dwnd))
+
+    def test_delay_window_collapses_under_congestion(self):
+        cc = CompoundTCP(initial_window=4)
+        feed_acks(cc, 40, rtt=0.1)
+        cc.ssthresh = 1  # leave slow start
+        feed_acks(cc, 40, rtt=0.1, start=2.0)
+        grown_dwnd = cc.dwnd
+        feed_acks(cc, 40, rtt=0.5, start=4.0)
+        assert cc.dwnd <= grown_dwnd
+
+    def test_loss_behaves_like_reno_on_loss_window(self):
+        cc = CompoundTCP(initial_window=4)
+        feed_acks(cc, 30)
+        before_loss_window = cc.cwnd_loss
+        cc.on_loss(2.0)
+        assert cc.cwnd_loss == pytest.approx(max(2.0, before_loss_window / 2))
+
+
+class TestDCTCP:
+    def test_uses_ecn(self):
+        assert DCTCP.uses_ecn is True
+
+    def test_no_marks_behaves_like_reno_growth(self):
+        cc = DCTCP(initial_window=2)
+        feed_acks(cc, 10)
+        assert cc.cwnd > 10
+
+    def test_marked_fraction_reduces_window_proportionally(self):
+        cc = DCTCP(initial_window=2)
+        feed_acks(cc, 30)  # grow first
+        cc.ssthresh = 1
+        before = cc.cwnd
+        feed_acks(cc, int(before) * 2, ecn=True, start=3.0)
+        assert cc.cwnd < before
+
+    def test_alpha_decays_without_marks(self):
+        cc = DCTCP(initial_window=2)
+        assert cc.alpha == 1.0
+        cc.ssthresh = 1  # congestion avoidance: short observation windows
+        feed_acks(cc, 200, ecn=False)
+        assert cc.alpha < 0.5
+
+
+class TestAIMD:
+    def test_additive_increase(self):
+        cc = AIMD(increase_per_rtt=1.0, decrease_factor=0.5, initial_window=10, use_slow_start=False)
+        feed_acks(cc, 10)
+        assert cc.cwnd == pytest.approx(11.0, rel=0.05)
+
+    def test_multiplicative_decrease(self):
+        cc = AIMD(initial_window=16, use_slow_start=False)
+        cc.on_loss(1.0)
+        assert cc.cwnd == 8.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AIMD(increase_per_rtt=0)
+        with pytest.raises(ValueError):
+            AIMD(decrease_factor=1.5)
+
+
+class TestConstantRate:
+    def test_intersend_matches_rate(self):
+        cc = ConstantRate(rate_pps=100)
+        assert cc.intersend_time == pytest.approx(0.01)
+        assert cc.rate_bps == pytest.approx(100 * 1500 * 8)
+
+    def test_ignores_feedback(self):
+        cc = ConstantRate(rate_pps=100)
+        window = cc.cwnd
+        cc.on_ack(make_ack())
+        cc.on_loss(1.0)
+        cc.on_timeout(1.0)
+        assert cc.cwnd == window
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ConstantRate(rate_pps=0)
+
+
+class TestBaseValidation:
+    def test_initial_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NewReno(initial_window=0)

@@ -1,0 +1,74 @@
+"""Round-trip tests for RemyCC serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.action import Action
+from repro.core.memory import MAX_MEMORY, Memory
+from repro.core.pretrained import pretrained_remycc
+from repro.core.serialization import (
+    load_remycc,
+    save_remycc,
+    whisker_tree_from_dict,
+    whisker_tree_to_dict,
+)
+from repro.core.whisker_tree import WhiskerTree
+
+coords = st.floats(min_value=0.0, max_value=MAX_MEMORY, allow_nan=False)
+memories = st.tuples(coords, coords, coords).map(lambda t: Memory(*t))
+
+
+def test_round_trip_single_rule_tree():
+    tree = WhiskerTree(default_action=Action(0.9, 2.0, 1.5), name="single")
+    data = whisker_tree_to_dict(tree)
+    restored = whisker_tree_from_dict(data)
+    assert restored.name == "single"
+    assert len(restored) == 1
+    assert restored.whiskers()[0].action == Action(0.9, 2.0, 1.5)
+
+
+def test_round_trip_split_tree():
+    tree = WhiskerTree(name="split")
+    whisker = tree.whiskers()[0]
+    whisker.use(Memory(5, 5, 2.0))
+    tree.split_whisker(whisker)
+    tree.whiskers()[3].action = Action(0.5, -1.0, 4.0)
+    restored = whisker_tree_from_dict(whisker_tree_to_dict(tree))
+    assert len(restored) == len(tree)
+    for original, copy in zip(tree.whiskers(), restored.whiskers()):
+        assert original.action == copy.action
+        assert original.domain.as_tuple() == copy.domain.as_tuple()
+
+
+def test_round_trip_is_json_compatible():
+    tree = pretrained_remycc("delta1")
+    text = json.dumps(whisker_tree_to_dict(tree))
+    restored = whisker_tree_from_dict(json.loads(text))
+    assert len(restored) == len(tree)
+
+
+def test_save_and_load_file(tmp_path):
+    tree = pretrained_remycc("delta10")
+    path = save_remycc(tree, tmp_path / "remy.json")
+    restored = load_remycc(path)
+    assert restored.name == tree.name
+    assert len(restored) == len(tree)
+
+
+def test_unsupported_version_rejected():
+    tree = WhiskerTree()
+    data = whisker_tree_to_dict(tree)
+    data["format_version"] = 99
+    with pytest.raises(ValueError):
+        whisker_tree_from_dict(data)
+
+
+@given(points=st.lists(memories, min_size=1, max_size=25))
+@settings(max_examples=30, deadline=None)
+def test_restored_tree_gives_identical_lookups(points):
+    tree = pretrained_remycc("delta0.1")
+    restored = whisker_tree_from_dict(whisker_tree_to_dict(tree))
+    for point in points:
+        assert tree.action_for(point) == restored.action_for(point)

@@ -1,0 +1,62 @@
+"""Unit tests for stochastic fair queueing with CoDel."""
+
+from repro.netsim.packet import Packet
+from repro.netsim.sfq import SfqCoDelQueue
+
+
+def _packet(flow: int, seq: int) -> Packet:
+    return Packet(flow_id=flow, seq=seq)
+
+
+def test_fifo_within_single_flow():
+    queue = SfqCoDelQueue(n_queues=8)
+    for seq in range(10):
+        queue.enqueue(_packet(0, seq), 0.0)
+    out = [queue.dequeue(0.0).seq for _ in range(10)]
+    assert out == list(range(10))
+
+
+def test_round_robin_between_flows():
+    queue = SfqCoDelQueue(n_queues=64)
+    # Flow 0 floods; flow 1 sends a little.
+    for seq in range(20):
+        queue.enqueue(_packet(0, seq), 0.0)
+    for seq in range(3):
+        queue.enqueue(_packet(1, seq), 0.0)
+    first_six = [queue.dequeue(0.0).flow_id for _ in range(6)]
+    # Flow 1's packets should not be stuck behind flow 0's backlog.
+    assert first_six.count(1) >= 2
+
+
+def test_total_capacity_enforced():
+    queue = SfqCoDelQueue(n_queues=4, capacity_packets=10)
+    accepted = sum(queue.enqueue(_packet(flow % 4, seq), 0.0) for seq, flow in enumerate(range(30)))
+    assert accepted == 10
+    assert queue.drops == 20
+    assert len(queue) == 10
+
+
+def test_dequeue_empty_returns_none():
+    queue = SfqCoDelQueue()
+    assert queue.dequeue(0.0) is None
+
+
+def test_active_queue_count():
+    queue = SfqCoDelQueue(n_queues=16)
+    queue.enqueue(_packet(1, 0), 0.0)
+    queue.enqueue(_packet(2, 0), 0.0)
+    assert queue.active_queues == 2
+    queue.dequeue(0.0)
+    queue.dequeue(0.0)
+    assert queue.active_queues == 0
+
+
+def test_len_consistent_after_mixed_operations():
+    queue = SfqCoDelQueue(n_queues=8, capacity_packets=100)
+    for seq in range(30):
+        queue.enqueue(_packet(seq % 5, seq), now=seq * 0.001)
+    removed = 0
+    while queue.dequeue(1.0) is not None:
+        removed += 1
+    assert removed + queue.drops == 30
+    assert len(queue) == 0

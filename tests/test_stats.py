@@ -1,0 +1,63 @@
+"""Tests for per-flow statistics accounting."""
+
+import pytest
+
+from repro.netsim.stats import FlowStats
+
+
+def test_throughput_definition_matches_paper():
+    """Throughput = bytes received during on periods / total on time (§5.1)."""
+    stats = FlowStats(0)
+    stats.record_on_time(2.0)
+    stats.record_on_time(3.0)
+    stats.record_delivery(500_000)
+    stats.record_delivery(750_000)
+    assert stats.throughput_bps() == pytest.approx((1_250_000 * 8) / 5.0)
+    assert stats.throughput_mbps() == pytest.approx(2.0)
+    assert stats.on_intervals == 2
+
+
+def test_zero_on_time_gives_zero_throughput():
+    stats = FlowStats(0)
+    stats.record_delivery(1000)
+    assert stats.throughput_bps() == 0.0
+
+
+def test_queue_delay_statistics():
+    stats = FlowStats(0)
+    for delay in (0.01, 0.02, 0.03):
+        stats.record_queue_delay(delay)
+    assert stats.avg_queue_delay() == pytest.approx(0.02)
+    assert stats.avg_queue_delay_ms() == pytest.approx(20.0)
+    assert stats.max_queue_delay == pytest.approx(0.03)
+
+
+def test_rtt_statistics():
+    stats = FlowStats(0)
+    stats.record_rtt(0.1)
+    stats.record_rtt(0.3)
+    assert stats.avg_rtt() == pytest.approx(0.2)
+    assert stats.min_rtt == pytest.approx(0.1)
+
+
+def test_loss_rate():
+    stats = FlowStats(0)
+    for _ in range(8):
+        stats.record_send(retransmit=False)
+    for _ in range(2):
+        stats.record_send(retransmit=True)
+    assert stats.loss_rate() == pytest.approx(0.2)
+
+
+def test_negative_on_time_rejected():
+    stats = FlowStats(0)
+    with pytest.raises(ValueError):
+        stats.record_on_time(-1.0)
+
+
+def test_counters_start_at_zero():
+    stats = FlowStats(3)
+    assert stats.flow_id == 3
+    assert stats.avg_rtt() == 0.0
+    assert stats.avg_queue_delay() == 0.0
+    assert stats.loss_rate() == 0.0

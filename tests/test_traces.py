@@ -1,0 +1,69 @@
+"""Tests for the synthetic cellular trace generator."""
+
+import pytest
+
+from repro.traces.cellular import (
+    CellularTraceConfig,
+    att_lte_trace,
+    generate_cellular_trace,
+    generate_rate_series,
+    rate_series_to_delivery_times,
+    verizon_lte_trace,
+)
+
+
+def test_rate_series_respects_bounds():
+    config = CellularTraceConfig()
+    series = generate_rate_series(60.0, config, seed=0)
+    assert len(series) == 120  # 0.5 s steps over 60 s
+    for _, rate in series:
+        assert rate <= config.max_rate_bps
+        assert rate >= min(config.min_rate_bps, config.outage_rate_bps)
+
+
+def test_delivery_times_are_sorted_and_within_duration():
+    trace = generate_cellular_trace(30.0, seed=1)
+    assert trace == sorted(trace)
+    assert trace[0] >= 0.0
+    assert trace[-1] <= 30.0
+    assert len(trace) > 100
+
+
+def test_mean_rate_close_to_configured_mean():
+    config = CellularTraceConfig(mean_rate_bps=10e6, volatility=0.2, outage_probability=0.0)
+    trace = generate_cellular_trace(120.0, config, seed=3)
+    delivered_bits = len(trace) * config.mss_bytes * 8
+    mean_rate = delivered_bits / 120.0
+    # The log-normal modulation biases the realised mean; just require the
+    # right order of magnitude.
+    assert 3e6 < mean_rate < 30e6
+
+
+def test_reproducible_for_same_seed():
+    assert verizon_lte_trace(20.0, seed=5) == verizon_lte_trace(20.0, seed=5)
+    assert verizon_lte_trace(20.0, seed=5) != verizon_lte_trace(20.0, seed=6)
+
+
+def test_att_trace_is_slower_than_verizon_on_average():
+    verizon = verizon_lte_trace(60.0, seed=2)
+    att = att_lte_trace(60.0, seed=2)
+    assert len(att) < len(verizon)
+
+
+def test_rate_series_to_delivery_times_simple_case():
+    # Constant 12 Mbps for 1 s -> one 1500-byte packet per millisecond.
+    times = rate_series_to_delivery_times([(0.0, 12e6)], 1.0)
+    # Floating-point accumulation may lose the final boundary opportunity.
+    assert len(times) in (999, 1000)
+    assert times[0] == pytest.approx(0.001)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        generate_rate_series(0.0, CellularTraceConfig())
+    with pytest.raises(ValueError):
+        rate_series_to_delivery_times([], 1.0)
+    with pytest.raises(ValueError):
+        CellularTraceConfig(mean_rate_bps=-1)
+    with pytest.raises(ValueError):
+        CellularTraceConfig(outage_probability=1.5)

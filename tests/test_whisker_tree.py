@@ -1,0 +1,148 @@
+"""Unit and property-based tests for whiskers and the whisker tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.action import Action
+from repro.core.memory import MAX_MEMORY, Memory, MemoryRange
+from repro.core.whisker import Whisker
+from repro.core.whisker_tree import WhiskerTree
+
+coords = st.floats(min_value=0.0, max_value=MAX_MEMORY, allow_nan=False)
+memories = st.tuples(coords, coords, coords).map(lambda t: Memory(*t))
+
+
+class TestWhisker:
+    def test_use_counts_and_samples(self):
+        whisker = Whisker(domain=MemoryRange.whole_space())
+        for i in range(10):
+            whisker.use(Memory(i, i, 1.0))
+        assert whisker.use_count == 10
+        median = whisker.median_trigger()
+        assert median.ack_ewma == pytest.approx(4.5)
+        assert median.rtt_ratio == pytest.approx(1.0)
+
+    def test_median_falls_back_to_center_without_samples(self):
+        whisker = Whisker(domain=MemoryRange(Memory(0, 0, 0), Memory(10, 10, 10)))
+        assert whisker.median_trigger() == Memory(5, 5, 5)
+
+    def test_reset_statistics(self):
+        whisker = Whisker(domain=MemoryRange.whole_space())
+        whisker.use(Memory(1, 1, 1))
+        whisker.reset_statistics()
+        assert whisker.use_count == 0
+        assert whisker.median_trigger() == whisker.domain.center()
+
+    def test_split_preserves_action_and_epoch(self):
+        whisker = Whisker(domain=MemoryRange.whole_space(), action=Action(1.5, 2.0, 3.0), epoch=4)
+        whisker.use(Memory(100, 100, 2.0))
+        children = whisker.split()
+        assert len(children) == 8
+        for child in children:
+            assert child.action == whisker.action
+            assert child.epoch == 4
+
+    def test_describe_mentions_action(self):
+        whisker = Whisker(domain=MemoryRange.whole_space())
+        assert "m=" in whisker.describe()
+
+
+class TestWhiskerTree:
+    def test_starts_with_single_default_rule(self):
+        tree = WhiskerTree()
+        assert len(tree) == 1
+        assert tree.whiskers()[0].action == Action.default()
+
+    def test_lookup_always_finds_a_rule(self):
+        tree = WhiskerTree()
+        assert tree.find(Memory(1, 2, 3)) is tree.whiskers()[0]
+
+    def test_use_increments_counts(self):
+        tree = WhiskerTree()
+        tree.use(Memory(1, 1, 1))
+        tree.use(Memory(2, 2, 2))
+        assert tree.total_use_count() == 2
+
+    def test_action_for_does_not_touch_counts(self):
+        tree = WhiskerTree()
+        tree.action_for(Memory(1, 1, 1))
+        assert tree.total_use_count() == 0
+
+    def test_split_grows_tree_to_eight_leaves(self):
+        tree = WhiskerTree()
+        whisker = tree.whiskers()[0]
+        whisker.use(Memory(10, 10, 2.0))
+        tree.split_whisker(whisker)
+        assert len(tree) == 8
+
+    def test_most_used_respects_epoch(self):
+        tree = WhiskerTree()
+        whisker = tree.whiskers()[0]
+        whisker.use(Memory(1, 1, 1))
+        assert tree.most_used(epoch=0) is whisker
+        whisker.epoch = 1
+        assert tree.most_used(epoch=0) is None
+        assert tree.most_used() is whisker
+
+    def test_most_used_requires_nonzero_use(self):
+        tree = WhiskerTree()
+        assert tree.most_used() is None
+
+    def test_replace_action(self):
+        tree = WhiskerTree()
+        whisker = tree.whiskers()[0]
+        new_action = Action(0.5, -1.0, 2.0)
+        tree.replace_action(whisker, new_action)
+        assert tree.action_for(Memory(0, 0, 0)) == new_action
+
+    def test_set_epoch_and_reset_statistics(self):
+        tree = WhiskerTree()
+        tree.use(Memory(1, 1, 1))
+        tree.set_epoch(3)
+        tree.reset_statistics()
+        whisker = tree.whiskers()[0]
+        assert whisker.epoch == 3
+        assert whisker.use_count == 0
+
+    def test_map_actions(self):
+        tree = WhiskerTree()
+        tree.split_whisker(tree.whiskers()[0])
+        tree.map_actions(lambda a: a.with_values(window_increment=9.0))
+        assert all(w.action.window_increment == 9.0 for w in tree.whiskers())
+
+    def test_split_nonexistent_whisker_rejected(self):
+        tree = WhiskerTree()
+        foreign = Whisker(domain=MemoryRange.whole_space())
+        with pytest.raises(ValueError):
+            tree.split_whisker(foreign)
+
+    def test_describe_lists_every_rule(self):
+        tree = WhiskerTree(name="example")
+        tree.split_whisker(tree.whiskers()[0])
+        text = tree.describe()
+        assert "example" in text
+        assert text.count("m=") == len(tree)
+
+    @given(points=st.lists(memories, min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_total_function_after_repeated_splits(self, points):
+        tree = WhiskerTree()
+        # Split a few times at data-driven points.
+        for split_round in range(3):
+            whisker = tree.whiskers()[split_round % len(tree.whiskers())]
+            for point in points[:5]:
+                whisker.use(point)
+            tree.split_whisker(whisker)
+        for point in points:
+            whisker = tree.find(point)
+            assert whisker.domain.contains(point.clamped())
+
+    @given(points=st.lists(memories, min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_leaves_partition_memory_space(self, points):
+        tree = WhiskerTree()
+        tree.split_whisker(tree.whiskers()[0])
+        tree.split_whisker(tree.whiskers()[3])
+        for point in points:
+            containing = [w for w in tree.whiskers() if w.domain.contains(point.clamped())]
+            assert len(containing) == 1
