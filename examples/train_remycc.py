@@ -8,11 +8,15 @@ into any experiment with :func:`repro.core.serialization.load_remycc`.
 
 The defaults are laptop-scale (minutes); pass ``--paper-scale`` to request
 the paper's 16-specimen, 100-second evaluations (CPU-days in pure Python —
-see DESIGN.md's substitution table).
+see DESIGN.md's substitution table).  ``--workers N`` fans the specimen and
+candidate-neighbourhood simulations out over N worker processes, the way the
+paper's design runs used many cores; ``--workers 1`` (the default) keeps the
+bit-identical serial path.
 
 Usage::
 
     python examples/train_remycc.py --delta 1.0 --output my_remycc.json
+    python examples/train_remycc.py --workers 8 --max-evaluations 1000
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.core.objective import Objective
 from repro.core.optimizer import OptimizerSettings, RemyOptimizer
 from repro.core.serialization import save_remycc
 from repro.core.whisker_tree import WhiskerTree
+from repro.runner import backend_from_spec
 
 
 def main() -> None:
@@ -38,6 +43,13 @@ def main() -> None:
     parser.add_argument("--max-evaluations", type=int, default=250, help="evaluation budget")
     parser.add_argument("--paper-scale", action="store_true", help="use the paper's evaluation size")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="simulation worker processes (1 = serial, bit-identical; "
+        "0 = one per available CPU)",
+    )
     args = parser.parse_args()
 
     if args.paper_scale:
@@ -47,10 +59,20 @@ def main() -> None:
             num_specimens=args.specimens, sim_duration=args.sim_duration, seed=args.seed
         )
 
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.workers == 1:
+        backend = backend_from_spec("serial")
+    elif args.workers == 0:
+        backend = backend_from_spec("process")
+    else:
+        backend = backend_from_spec(f"process:{args.workers}")
+
     evaluator = Evaluator(
         general_purpose_range(),
         Objective.proportional(delta=args.delta),
         evaluator_settings,
+        backend=backend,
     )
     optimizer = RemyOptimizer(
         evaluator,
@@ -69,8 +91,12 @@ def main() -> None:
 
     print(f"designing a RemyCC for: {evaluator.objective.describe()}")
     print(f"design range: {len(evaluator.specimens)} specimens, e.g. {evaluator.specimens[0].describe()}")
+    print(f"execution backend: {backend!r}")
     start = time.time()
-    tree = optimizer.optimize()
+    try:
+        tree = optimizer.optimize()
+    finally:
+        backend.close()
     elapsed = time.time() - start
 
     print()

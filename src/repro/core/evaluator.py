@@ -7,21 +7,49 @@ senders.  The specimen set and every random seed are derived
 deterministically from the evaluator's seed, so different candidate actions
 are compared on exactly the same networks (the variance-reduction trick the
 paper relies on).
+
+The specimen simulations of one evaluation are independent, so the evaluator
+submits them as one batch to an :class:`~repro.runner.ExecutionBackend`; the
+default :class:`~repro.runner.SerialBackend` runs them in-process exactly as
+the pre-backend code did, while a
+:class:`~repro.runner.ProcessPoolBackend` fans them out across cores the way
+the paper's design runs did.  :meth:`Evaluator.evaluate_many` extends the
+same batching across several candidate rule tables at once (the optimizer
+scores a whole action neighbourhood per batch).
 """
 
 from __future__ import annotations
 
-import random
 import statistics
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.config import ConfigRange, NetConfig
 from repro.core.objective import Objective
 from repro.core.whisker_tree import WhiskerTree
 from repro.netsim.network import NetworkSpec
-from repro.netsim.simulator import Simulation, SimulationResult
+from repro.netsim.simulator import SimulationResult
+from repro.runner import (
+    ExecutionBackend,
+    SerialBackend,
+    SimJob,
+    merge_whisker_stats,
+    mix_seed,
+)
 from repro.traffic.onoff import ByteFlowWorkload, TimedFlowWorkload
+
+
+def specimen_seed(evaluator_seed: int, specimen_index: int) -> int:
+    """Simulation seed for one specimen of one evaluator.
+
+    Uses a proper seed mix so distinct ``(evaluator seed, specimen index)``
+    pairs never share a packet schedule.  (The previous derivation,
+    ``seed * 7919 + index``, collided: seed=1/index=0 reused the schedule of
+    seed=0/index=7919.)  The specimen index — never the candidate action —
+    determines the seed, so every candidate sees the same packet-level
+    randomness.
+    """
+    return mix_seed("remy-specimen", evaluator_seed, specimen_index)
 
 
 @dataclass
@@ -87,10 +115,12 @@ class Evaluator:
         config_range: ConfigRange,
         objective: Optional[Objective] = None,
         settings: Optional[EvaluatorSettings] = None,
+        backend: Optional[ExecutionBackend] = None,
     ):
         self.config_range = config_range
         self.objective = objective if objective is not None else Objective.proportional(1.0)
         self.settings = settings if settings is not None else EvaluatorSettings()
+        self.backend = backend if backend is not None else SerialBackend()
         self.specimens = config_range.specimens(
             self.settings.num_specimens, seed=self.settings.seed
         )
@@ -124,6 +154,21 @@ class Evaluator:
             mean_off_seconds=specimen.mean_off_seconds,
         )
 
+    def _job_for(
+        self, tree: WhiskerTree, specimen: NetConfig, index: int, training: bool, job_id: int
+    ) -> SimJob:
+        spec = self._spec_for(specimen)
+        return SimJob(
+            job_id=job_id,
+            spec=spec,
+            duration=self.settings.sim_duration,
+            seed=specimen_seed(self.settings.seed, index),
+            workloads=tuple(self._workload_for(specimen) for _ in range(specimen.n_senders)),
+            tree=tree,
+            training=training,
+            max_events=self.settings.max_events_per_sim,
+        )
+
     # -- evaluation ---------------------------------------------------------------
     def evaluate(self, tree: WhiskerTree, training: bool = True) -> EvaluationResult:
         """Simulate ``tree`` on every specimen and total the objective.
@@ -132,17 +177,53 @@ class Evaluator:
         memories on the tree (required by the optimizer's most-used-rule and
         split steps); pass ``False`` for a read-only scoring pass.
         """
+        return self.evaluate_many([tree], training=training)[0]
+
+    def evaluate_many(
+        self, trees: Sequence[WhiskerTree], training: bool = True
+    ) -> list[EvaluationResult]:
+        """Evaluate several rule tables as one batch of simulations.
+
+        Candidate tables are independent by construction — they run over the
+        same specimens with the same seeds — so all ``len(trees) ×
+        num_specimens`` simulations are submitted together, letting a
+        parallel backend keep every worker busy across the whole candidate
+        neighbourhood rather than one evaluation at a time.
+        """
+        trees = list(trees)
+        if not trees:
+            return []
+        self.evaluations += len(trees)
+
+        jobs = []
+        for tree in trees:
+            for index, specimen in enumerate(self.specimens):
+                jobs.append(
+                    self._job_for(tree, specimen, index, training, job_id=len(jobs))
+                )
+        job_results = self.backend.run_batch(jobs)
+
+        results = []
+        per_tree = len(self.specimens)
+        for tree_index, tree in enumerate(trees):
+            batch = job_results[tree_index * per_tree : (tree_index + 1) * per_tree]
+            if training and not self.backend.shares_memory:
+                # Workers simulated isolated copies of the tree; fold their
+                # usage deltas into the master copy in specimen order.
+                merge_whisker_stats(
+                    tree, [jr.whisker_stats for jr in batch if jr.whisker_stats is not None]
+                )
+            results.append(self._score_tree(batch))
+        return results
+
+    def _score_tree(self, batch) -> EvaluationResult:
         flow_scores: list[FlowScore] = []
         specimen_scores: list[float] = []
-        self.evaluations += 1
-
-        for index, specimen in enumerate(self.specimens):
-            result = self._simulate_specimen(tree, specimen, index, training)
-            scores = self._score_specimen(result, specimen, index)
+        for index, (specimen, job_result) in enumerate(zip(self.specimens, batch)):
+            scores = self._score_specimen(job_result.result, specimen, index)
             flow_scores.extend(scores)
             per_flow = [fs.score for fs in scores]
             specimen_scores.append(statistics.fmean(per_flow) if per_flow else 0.0)
-
         total = statistics.fmean(specimen_scores) if specimen_scores else 0.0
         return EvaluationResult(
             score=total,
@@ -151,30 +232,6 @@ class Evaluator:
             specimens=list(self.specimens),
             simulations=len(self.specimens),
         )
-
-    def _simulate_specimen(
-        self, tree: WhiskerTree, specimen: NetConfig, index: int, training: bool
-    ) -> SimulationResult:
-        # Imported here rather than at module scope: the protocols package
-        # imports repro.core, so a top-level import would be circular.
-        from repro.protocols.remycc import RemyCCProtocol
-
-        spec = self._spec_for(specimen)
-        protocols = [
-            RemyCCProtocol(tree, training=training) for _ in range(specimen.n_senders)
-        ]
-        workloads = [self._workload_for(specimen) for _ in range(specimen.n_senders)]
-        simulation = Simulation(
-            spec,
-            protocols,
-            workloads,
-            duration=self.settings.sim_duration,
-            # The specimen index (not the candidate action) determines the
-            # seed, so every candidate sees the same packet-level randomness.
-            seed=self.settings.seed * 7919 + index,
-            max_events=self.settings.max_events_per_sim,
-        )
-        return simulation.run()
 
     def _score_specimen(
         self, result: SimulationResult, specimen: NetConfig, index: int

@@ -25,6 +25,7 @@ from typing import Callable, Optional
 
 from repro.core.action import Action
 from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.serialization import whisker_tree_from_dict, whisker_tree_to_dict
 from repro.core.whisker import Whisker
 from repro.core.whisker_tree import WhiskerTree
 
@@ -106,6 +107,36 @@ class RemyOptimizer:
         self.state.score_history.append(result.score)
         return result
 
+    def _evaluate_candidates(self, trees: list[WhiskerTree]) -> list[EvaluationResult]:
+        """Score a batch of candidate tables (one budget unit per table).
+
+        The candidates share specimens and seeds, so a parallel evaluator
+        backend can run the whole neighbourhood concurrently.
+        """
+        results = self.evaluator.evaluate_many(trees, training=False)
+        for result in results:
+            self.state.evaluations_used += 1
+            if result.score > self.state.best_score:
+                self.state.best_score = result.score
+            self.state.score_history.append(result.score)
+        return results
+
+    def _candidate_trees(
+        self, whisker_index: int, actions: list[Action]
+    ) -> list[WhiskerTree]:
+        """Statistics-free tree copies, each with one rule's action replaced.
+
+        The shared tree is serialized once; only the per-candidate
+        reconstruction and the one-action patch differ.
+        """
+        base = whisker_tree_to_dict(self.tree)
+        trees = []
+        for action in actions:
+            candidate = whisker_tree_from_dict(base)
+            candidate.whiskers()[whisker_index].action = action
+            trees.append(candidate)
+        return trees
+
     # ------------------------------------------------------------------ search
     def optimize(self) -> WhiskerTree:
         """Run the greedy search until the budget is exhausted."""
@@ -118,17 +149,30 @@ class RemyOptimizer:
         return self.tree
 
     def _run_epoch(self) -> None:
-        """Steps 1-3: improve every used rule of the current epoch once."""
+        """Steps 1-3: improve every used rule of the current epoch once.
+
+        A single training evaluation computes the per-rule usage statistics
+        for the whole epoch; successive most-used rules are then picked from
+        those statistics.  (Re-simulating the specimen set once per improved
+        rule just to recompute a baseline — as earlier revisions did — burns
+        a full evaluation per rule without changing which rules get picked:
+        an improved rule leaves the epoch, and the remaining counts already
+        rank the rest.)
+        """
         epoch = self.state.global_epoch
         self.tree.set_epoch(epoch)
+        if self._budget_exhausted():
+            return
+        self.tree.reset_statistics()
+        baseline = self._evaluate(training=True)
+        best_score = baseline.score
         while not self._budget_exhausted():
-            self.tree.reset_statistics()
-            baseline = self._evaluate(training=True)
             whisker = self.tree.most_used(epoch=epoch)
             if whisker is None:
-                # No rule in this epoch was used: the epoch is finished.
+                # No rule in this epoch remains used: the epoch is finished.
                 break
-            improved_score = self._improve_whisker(whisker, baseline.score)
+            improved_score = self._improve_whisker(whisker, best_score)
+            best_score = max(best_score, improved_score)
             whisker.epoch = epoch + 1
             self._notify(
                 f"improved rule to score {improved_score:.4f} "
@@ -136,23 +180,33 @@ class RemyOptimizer:
             )
 
     def _improve_whisker(self, whisker: Whisker, baseline_score: float) -> float:
-        """Step 3: hill-climb the rule's action over its candidate neighbourhood."""
+        """Step 3: hill-climb the rule's action over its candidate neighbourhood.
+
+        Each round scores the whole neighbourhood as one
+        :meth:`Evaluator.evaluate_many` batch — the candidates are
+        independent by construction (same specimens, same seeds), so a
+        parallel backend runs them concurrently.
+        """
         best_score = baseline_score
+        whisker_index = next(
+            i for i, w in enumerate(self.tree.whiskers()) if w is whisker
+        )
         improved = True
         while improved and not self._budget_exhausted():
             improved = False
+            candidates = list(whisker.action.neighbors(self.settings.candidate_magnitudes))
+            remaining = self.settings.max_evaluations - self.state.evaluations_used
+            if remaining <= 0:
+                break
+            candidates = candidates[:remaining]
+            trees = self._candidate_trees(whisker_index, candidates)
+            results = self._evaluate_candidates(trees)
             best_action = whisker.action
-            for candidate in whisker.action.neighbors(self.settings.candidate_magnitudes):
-                if self._budget_exhausted():
-                    break
-                original = whisker.action
-                whisker.action = candidate
-                result = self._evaluate(training=False)
-                whisker.action = original
+            for candidate, result in zip(candidates, results):
                 if result.score > best_score + self.settings.improvement_threshold:
                     best_score = result.score
                     best_action = candidate
-            if best_action is not whisker.action and best_action != whisker.action:
+            if best_action != whisker.action:
                 whisker.action = best_action
                 self.state.improvements += 1
                 improved = True

@@ -6,6 +6,15 @@ XCP needs the XCP router, DCTCP needs the ECN-marking RED gateway; everything
 else runs over plain DropTail).  :func:`run_scheme` runs one scheme over a
 scenario several times with different seeds and folds every sender's
 (throughput, queueing delay) point into a :class:`SchemeSummary`.
+
+The scheme × seed fan-out goes through a :mod:`repro.runner` execution
+backend: the per-run simulations are independent, so passing a
+:class:`~repro.runner.ProcessPoolBackend` spreads them across cores.  The
+default :class:`~repro.runner.SerialBackend` reproduces the pre-backend
+results bit-identically.  (RemyCC schemes parallelize because the rule table
+itself ships to the workers; a scheme whose ``protocol_factory`` is a
+closure — rather than a picklable module-level callable such as a protocol
+class — can only run on the serial backend.)
 """
 
 from __future__ import annotations
@@ -19,7 +28,6 @@ from repro.core.pretrained import pretrained_remycc
 from repro.core.whisker_tree import WhiskerTree
 from repro.netsim.network import NetworkSpec
 from repro.netsim.sender import Workload
-from repro.netsim.simulator import Simulation
 from repro.protocols.base import CongestionControl
 from repro.protocols.compound import CompoundTCP
 from repro.protocols.cubic import Cubic
@@ -27,6 +35,7 @@ from repro.protocols.newreno import NewReno
 from repro.protocols.remycc import RemyCCProtocol
 from repro.protocols.vegas import Vegas
 from repro.protocols.xcp import XCP
+from repro.runner import ExecutionBackend, SerialBackend, SimJob
 
 ProtocolFactory = Callable[[], CongestionControl]
 WorkloadFactory = Callable[[int], Workload]
@@ -40,6 +49,10 @@ class SchemeSpec:
     protocol_factory: ProtocolFactory
     #: Queue discipline the scheme runs over (None = keep the scenario's queue).
     queue: Optional[str] = None
+    #: RemyCC rule table, when the scheme is a RemyCC.  Set so the scheme can
+    #: be described picklably to a process-pool backend (the factory lambda
+    #: closing over the tree cannot cross a process boundary).
+    tree: Optional[WhiskerTree] = None
 
     def make_protocols(self, n_flows: int) -> list[CongestionControl]:
         return [self.protocol_factory() for _ in range(n_flows)]
@@ -49,12 +62,12 @@ def remycc_scheme(tree_name: str, label: Optional[str] = None) -> SchemeSpec:
     """A scheme running the named pretrained RemyCC over DropTail."""
     tree = pretrained_remycc(tree_name)
     label = label if label is not None else f"Remy {tree_name}"
-    return SchemeSpec(label, lambda t=tree: RemyCCProtocol(t), queue=None)
+    return SchemeSpec(label, lambda t=tree: RemyCCProtocol(t), queue=None, tree=tree)
 
 
 def remycc_scheme_from_tree(tree: WhiskerTree, label: str) -> SchemeSpec:
     """A scheme running an arbitrary (e.g. freshly optimized) rule table."""
-    return SchemeSpec(label, lambda t=tree: RemyCCProtocol(t), queue=None)
+    return SchemeSpec(label, lambda t=tree: RemyCCProtocol(t), queue=None, tree=tree)
 
 
 def standard_schemes(
@@ -89,24 +102,38 @@ def run_scheme(
     duration: float = 30.0,
     base_seed: int = 0,
     max_events: Optional[int] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> SchemeSummary:
-    """Run ``scheme`` over the scenario ``n_runs`` times and summarise it."""
+    """Run ``scheme`` over the scenario ``n_runs`` times and summarise it.
+
+    The runs are submitted as one batch to ``backend`` (default: the
+    bit-identical :class:`~repro.runner.SerialBackend`).
+    """
     if n_runs <= 0:
         raise ValueError("n_runs must be positive")
     scenario_spec = replace(spec, queue=scheme.queue) if scheme.queue is not None else spec
-    summary = SchemeSummary(scheme.name)
+    jobs = []
     for run_index in range(n_runs):
-        protocols = scheme.make_protocols(scenario_spec.n_flows)
-        workloads = [workload_factory(flow_id) for flow_id in range(scenario_spec.n_flows)]
-        simulation = Simulation(
-            scenario_spec,
-            protocols,
-            workloads,
+        workloads = tuple(
+            workload_factory(flow_id) for flow_id in range(scenario_spec.n_flows)
+        )
+        common = dict(
+            job_id=run_index,
+            spec=scenario_spec,
             duration=duration,
             seed=base_seed * 10_007 + run_index,
+            workloads=workloads,
             max_events=max_events,
         )
-        summary.add_result(simulation.run())
+        if scheme.tree is not None:
+            jobs.append(SimJob(tree=scheme.tree, training=False, **common))
+        else:
+            jobs.append(SimJob(protocol_factory=scheme.protocol_factory, **common))
+    if backend is None:
+        backend = SerialBackend()
+    summary = SchemeSummary(scheme.name)
+    for job_result in backend.run_batch(jobs):
+        summary.add_result(job_result.result)
     return summary
 
 

@@ -21,6 +21,7 @@ from repro.experiments.base import (
     standard_schemes,
 )
 from repro.netsim.network import NetworkSpec
+from repro.runner import ExecutionBackend
 from repro.traces.cellular import att_lte_trace, verizon_lte_trace
 from repro.traffic.onoff import ByteFlowWorkload
 
@@ -50,6 +51,7 @@ def _run_cellular(
     duration: float,
     schemes: Optional[Sequence[SchemeSpec]],
     base_seed: int,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     spec = cellular_spec(delivery_trace, n_flows)
     schemes = list(schemes) if schemes is not None else standard_schemes()
@@ -76,6 +78,7 @@ def _run_cellular(
                 n_runs=n_runs,
                 duration=duration,
                 base_seed=base_seed,
+                backend=backend,
             )
         )
     return result
@@ -88,6 +91,7 @@ def run_figure7(
     schemes: Optional[Sequence[SchemeSpec]] = None,
     trace_seed: int = 1,
     base_seed: int = 71,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Figure 7: Verizon LTE downlink trace, n = 4 senders."""
     trace = verizon_lte_trace(duration_seconds=duration, seed=trace_seed)
@@ -99,6 +103,7 @@ def run_figure7(
         duration,
         schemes,
         base_seed,
+        backend=backend,
     )
 
 
@@ -109,6 +114,7 @@ def run_figure8(
     schemes: Optional[Sequence[SchemeSpec]] = None,
     trace_seed: int = 1,
     base_seed: int = 72,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Figure 8: Verizon LTE downlink trace, n = 8 senders."""
     trace = verizon_lte_trace(duration_seconds=duration, seed=trace_seed)
@@ -120,6 +126,7 @@ def run_figure8(
         duration,
         schemes,
         base_seed,
+        backend=backend,
     )
 
 
@@ -130,6 +137,7 @@ def run_figure9(
     schemes: Optional[Sequence[SchemeSpec]] = None,
     trace_seed: int = 2,
     base_seed: int = 73,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Figure 9: AT&T LTE downlink trace, n = 4 senders."""
     trace = att_lte_trace(duration_seconds=duration, seed=trace_seed)
@@ -141,4 +149,5 @@ def run_figure9(
         duration,
         schemes,
         base_seed,
+        backend=backend,
     )

@@ -21,6 +21,7 @@ from repro.experiments.base import (
     standard_schemes,
 )
 from repro.netsim.network import NetworkSpec
+from repro.runner import ExecutionBackend
 from repro.traffic.flowsize import icsi_flow_length_distribution
 from repro.traffic.onoff import ByteFlowWorkload
 
@@ -49,6 +50,7 @@ def run_figure4(
     mean_flow_bytes: float = 100e3,
     mean_off_seconds: float = 0.5,
     base_seed: int = 42,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Run the Figure 4 scenario and return per-scheme summaries.
 
@@ -85,6 +87,7 @@ def run_figure4(
                 n_runs=n_runs,
                 duration=duration,
                 base_seed=base_seed,
+                backend=backend,
             )
         )
     return result
@@ -98,6 +101,7 @@ def run_figure5(
     mean_off_seconds: float = 0.2,
     max_flow_bytes: float = 20e6,
     base_seed: int = 43,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Run the Figure 5 scenario (ICSI heavy-tailed flow lengths, n = 12).
 
@@ -136,6 +140,7 @@ def run_figure5(
                 n_runs=n_runs,
                 duration=duration,
                 base_seed=base_seed,
+                backend=backend,
             )
         )
     return result

@@ -100,6 +100,18 @@ class FlowStats:
         return self.rtt_sum / self.rtt_count
 
     def loss_rate(self) -> float:
+        """Fraction of transmitted packets detected as lost.
+
+        Based on ``losses_detected`` (dupack/timeout loss events), not on
+        retransmission counts — a retransmission can itself be lost and
+        resent, so the two rates genuinely differ; see
+        :meth:`retransmit_rate` for the other quantity.
+        """
+        if self.packets_sent == 0:
+            return 0.0
+        return self.losses_detected / self.packets_sent
+
+    def retransmit_rate(self) -> float:
         """Fraction of transmitted packets that were retransmissions."""
         if self.packets_sent == 0:
             return 0.0

@@ -1,0 +1,40 @@
+"""Execution subsystem: batched simulation jobs over pluggable backends.
+
+The design loop (§4.3) and the figure harnesses all boil down to batches of
+independent packet-level simulations.  This package describes one simulation
+as a picklable :class:`SimJob`, and runs batches through an
+:class:`ExecutionBackend` — serially in-process (the bit-identical default)
+or across a pool of worker processes.
+"""
+
+from repro.runner.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_workers,
+    backend_from_spec,
+)
+from repro.runner.jobs import (
+    SimJob,
+    SimJobResult,
+    WhiskerStatsDelta,
+    collect_whisker_stats,
+    merge_whisker_stats,
+    mix_seed,
+    run_sim_job,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SimJob",
+    "SimJobResult",
+    "WhiskerStatsDelta",
+    "available_workers",
+    "backend_from_spec",
+    "collect_whisker_stats",
+    "merge_whisker_stats",
+    "mix_seed",
+    "run_sim_job",
+]

@@ -1,0 +1,157 @@
+"""Execution backends: how a batch of simulation jobs actually runs.
+
+The paper parallelized the design phase's specimen evaluations across many
+cores (§4.3); this module provides that execution layer as a pluggable
+interface so the evaluator, the optimizer's candidate fan-out and the figure
+harnesses can share it:
+
+* :class:`SerialBackend` (the default everywhere) runs each job in-process on
+  the caller's own objects — training runs mutate the caller's tree in place,
+  exactly like the pre-backend code path, so results stay bit-identical.
+* :class:`ProcessPoolBackend` ships picklable jobs to a pool of worker
+  processes.  Workers operate on isolated copies of the rule table, so
+  training statistics come back as explicit per-whisker deltas that the
+  caller merges (see :func:`repro.runner.jobs.merge_whisker_stats`).
+
+Backends preserve submission order: ``run_batch(jobs)[i]`` is always the
+result of ``jobs[i]``.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.runner.jobs import SimJob, SimJobResult, run_sim_job
+
+
+def _execute_isolated_job(job: SimJob) -> SimJobResult:
+    """Worker entry point (module-level so it pickles by reference)."""
+    return run_sim_job(job, collect_stats=job.training and job.tree is not None)
+
+
+def available_workers() -> int:
+    """CPUs usable by this process (respects affinity masks where available)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+class ExecutionBackend(ABC):
+    """Runs batches of independent :class:`SimJob`\\ s."""
+
+    #: Whether jobs execute on the caller's own objects.  When ``True``,
+    #: training runs mutate the submitted tree directly and no statistics
+    #: merge is needed; when ``False``, callers must fold the returned
+    #: ``whisker_stats`` deltas into their tree.
+    shares_memory: bool = True
+
+    @abstractmethod
+    def run_batch(self, jobs: Sequence[SimJob]) -> list[SimJobResult]:
+        """Execute every job and return results in submission order."""
+
+    def close(self) -> None:
+        """Release any resources (worker processes); idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, sequential execution — the bit-identical default."""
+
+    shares_memory = True
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> list[SimJobResult]:
+        return [run_sim_job(job) for job in jobs]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialBackend()"
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan jobs out over a pool of worker processes.
+
+    Jobs must be picklable: rule-table jobs always are; ``protocol_factory``
+    jobs require a module-level factory (a protocol class qualifies — a
+    closure does not).  Before shipping, each distinct tree in the batch is
+    replaced by a statistics-free copy (via the JSON serialization round
+    trip) so workers start from zeroed counters and their returned deltas
+    are pure, and so stale sample reservoirs never cross the process
+    boundary.
+
+    The pool is created lazily on first use and reused across batches;
+    call :meth:`close` (or use the backend as a context manager) to reap the
+    workers.
+    """
+
+    shares_memory = False
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers if max_workers is not None else available_workers()
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def _prepare(self, jobs: Sequence[SimJob]) -> list[SimJob]:
+        # Imported here rather than at module scope: repro.core's package
+        # __init__ imports the evaluator, which imports this package.
+        from repro.core.serialization import whisker_tree_from_dict, whisker_tree_to_dict
+
+        clean_trees: dict[int, object] = {}
+        prepared = []
+        for job in jobs:
+            if job.tree is not None:
+                key = id(job.tree)
+                if key not in clean_trees:
+                    clean_trees[key] = whisker_tree_from_dict(
+                        whisker_tree_to_dict(job.tree)
+                    )
+                job = replace(job, tree=clean_trees[key])
+            prepared.append(job)
+        return prepared
+
+    def run_batch(self, jobs: Sequence[SimJob]) -> list[SimJobResult]:
+        jobs = self._prepare(jobs)
+        if not jobs:
+            return []
+        executor = self._ensure_executor()
+        # Chunk so each worker gets a few jobs per IPC round trip.
+        chunksize = max(1, len(jobs) // (self.max_workers * 4))
+        return list(executor.map(_execute_isolated_job, jobs, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessPoolBackend(max_workers={self.max_workers})"
+
+
+def backend_from_spec(spec: str) -> ExecutionBackend:
+    """Build a backend from a CLI-style spec string.
+
+    ``"serial"`` → :class:`SerialBackend`; ``"process"`` →
+    :class:`ProcessPoolBackend` with one worker per available CPU;
+    ``"process:N"`` → a pool of exactly N workers.
+    """
+    name, _, arg = spec.partition(":")
+    if name == "serial":
+        if arg:
+            raise ValueError("serial backend takes no argument")
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(max_workers=int(arg) if arg else None)
+    raise ValueError(f"unknown backend spec {spec!r}; expected 'serial' or 'process[:N]'")

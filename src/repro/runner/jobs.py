@@ -1,0 +1,190 @@
+"""Picklable descriptions of one specimen simulation (the unit of fan-out).
+
+The Remy design loop and the figure harnesses both reduce to the same shape
+of work: many *independent* packet-level simulations whose inputs are fixed
+up front (network spec, protocols, workloads, seed) and whose outputs are
+per-flow statistics.  A :class:`SimJob` captures one such simulation in a
+picklable form so an :class:`~repro.runner.backends.ExecutionBackend` can run
+it in this process or ship it to a worker process; a :class:`SimJobResult`
+carries the outcome back.
+
+Training-mode RemyCC jobs additionally return per-whisker usage deltas
+(:class:`WhiskerStatsDelta`, one per leaf in the tree's deterministic
+depth-first order — the same ordering contract as
+:mod:`repro.core.serialization`) so the master process can merge statistics
+into its own tree instead of relying on in-place mutation, which process
+isolation would silently discard.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.netsim.network import NetworkSpec
+from repro.netsim.sender import Workload
+from repro.netsim.simulator import Simulation, SimulationResult
+
+if TYPE_CHECKING:
+    # Annotation-only imports.  repro.core's package __init__ imports the
+    # evaluator, which imports this package, so a runtime import of
+    # repro.core here would be circular (likewise for protocols).
+    from repro.core.whisker_tree import WhiskerTree
+    from repro.protocols.base import CongestionControl
+
+ProtocolFactory = Callable[[], "CongestionControl"]
+
+
+def mix_seed(*components: object) -> int:
+    """Derive a 32-bit simulation seed from an arbitrary component tuple.
+
+    The components are rendered to a string and fed through
+    ``random.Random``'s string seeding (which hashes via SHA-512), so any two
+    distinct component tuples get statistically independent seeds.  This
+    replaces arithmetic derivations like ``seed * 7919 + index``, where
+    ``(seed=1, index=0)`` and ``(seed=0, index=7919)`` share a packet
+    schedule.
+    """
+    key = ":".join(repr(component) for component in components)
+    return random.Random(key).getrandbits(32)
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One specimen simulation, described picklably.
+
+    Exactly one of ``tree`` (a RemyCC rule table executed at every sender)
+    or ``protocol_factory`` (a picklable zero-argument congestion-control
+    constructor, e.g. a protocol class) must be set.  ``workloads`` holds one
+    on/off workload object per flow; an empty tuple means all-always-on
+    sources (the :class:`~repro.netsim.simulator.Simulation` default).
+    """
+
+    job_id: int
+    spec: NetworkSpec
+    duration: float
+    seed: int
+    workloads: tuple[Workload, ...] = ()
+    tree: Optional["WhiskerTree"] = None
+    training: bool = False
+    protocol_factory: Optional[ProtocolFactory] = None
+    max_events: Optional[int] = None
+    trace_flows: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if (self.tree is None) == (self.protocol_factory is None):
+            raise ValueError("exactly one of tree or protocol_factory must be set")
+        if self.workloads and len(self.workloads) != self.spec.n_flows:
+            raise ValueError(
+                f"got {len(self.workloads)} workloads for {self.spec.n_flows} flows"
+            )
+
+    def build_protocols(self) -> list["CongestionControl"]:
+        """Instantiate one congestion-control module per flow."""
+        # Imported here rather than at module scope: protocols import
+        # repro.core, so a top-level import would be circular.
+        from repro.protocols.remycc import RemyCCProtocol
+
+        if self.tree is not None:
+            return [
+                RemyCCProtocol(self.tree, training=self.training)
+                for _ in range(self.spec.n_flows)
+            ]
+        assert self.protocol_factory is not None
+        return [self.protocol_factory() for _ in range(self.spec.n_flows)]
+
+
+@dataclass
+class WhiskerStatsDelta:
+    """Usage accumulated by one whisker during one job (worker-side)."""
+
+    use_count: int
+    samples: list[tuple[float, float, float]] = field(default_factory=list)
+
+
+@dataclass
+class SimJobResult:
+    """Outcome of one :class:`SimJob`, picklable for the return trip.
+
+    ``whisker_stats`` is populated only for training-mode RemyCC jobs run
+    under a memory-isolated backend: one delta per tree leaf, in the tree's
+    depth-first leaf order.
+    """
+
+    job_id: int
+    result: SimulationResult
+    whisker_stats: Optional[list[WhiskerStatsDelta]] = None
+
+
+def collect_whisker_stats(tree: "WhiskerTree") -> list[WhiskerStatsDelta]:
+    """Snapshot per-whisker usage in depth-first leaf order."""
+    return [
+        WhiskerStatsDelta(use_count=w.use_count, samples=list(w._samples))
+        for w in tree.whiskers()
+    ]
+
+
+def merge_whisker_stats(
+    tree: "WhiskerTree", batches: list[list[WhiskerStatsDelta]]
+) -> None:
+    """Fold worker-side usage deltas into the master tree.
+
+    ``batches`` must be in job-submission order so the merge is
+    deterministic.  Use counts add exactly; sample reservoirs are refilled
+    with the same append-then-ring policy as :meth:`Whisker.use`, keyed off
+    the master's running use count.  (When a single whisker fires more than
+    ``SAMPLE_RESERVOIR`` times inside one job, the reconstructed reservoir
+    can retain a slightly different sample subset than a fully serial run —
+    use counts, and therefore rule selection, are unaffected.)
+    """
+    from repro.core.whisker import SAMPLE_RESERVOIR
+
+    whiskers = tree.whiskers()
+    for batch in batches:
+        if len(batch) != len(whiskers):
+            raise ValueError(
+                f"stats delta has {len(batch)} entries for {len(whiskers)} rules"
+            )
+        for whisker, delta in zip(whiskers, batch):
+            start = whisker.use_count
+            whisker.use_count += delta.use_count
+            for offset, sample in enumerate(delta.samples):
+                if len(whisker._samples) < SAMPLE_RESERVOIR:
+                    whisker._samples.append(sample)
+                else:
+                    # Whisker.use increments the count before writing, so the
+                    # k-th replayed sample (1-based) lands at start + k.
+                    whisker._samples[(start + offset + 1) % SAMPLE_RESERVOIR] = sample
+
+
+def run_sim_job(job: SimJob, collect_stats: bool = False) -> SimJobResult:
+    """Execute one job in the current process.
+
+    ``collect_stats=True`` snapshots the tree's per-whisker usage after the
+    run (for backends that execute on an isolated copy of the tree and must
+    send statistics back explicitly); in-process backends leave it ``False``
+    because training runs already mutate the caller's tree directly.
+
+    A collected snapshot must be a pure per-job delta, but the tree object
+    may be shared with other jobs in the same worker (``executor.map``
+    unpickles a whole chunk at once, and jobs of one chunk then reference
+    one tree copy), so the statistics are zeroed before the run rather than
+    trusting the tree to arrive clean.
+    """
+    if collect_stats and job.tree is not None and job.training:
+        job.tree.reset_statistics()
+    simulation = Simulation(
+        job.spec,
+        job.build_protocols(),
+        list(job.workloads) if job.workloads else None,
+        duration=job.duration,
+        seed=job.seed,
+        trace_flows=job.trace_flows,
+        max_events=job.max_events,
+    )
+    result = simulation.run()
+    whisker_stats = None
+    if collect_stats and job.tree is not None and job.training:
+        whisker_stats = collect_whisker_stats(job.tree)
+    return SimJobResult(job_id=job.job_id, result=result, whisker_stats=whisker_stats)

@@ -1,0 +1,365 @@
+"""Tests for the execution subsystem (repro.runner) and its evaluator wiring.
+
+The two properties that matter:
+
+* **determinism** — ``SerialBackend`` and ``ProcessPoolBackend`` must produce
+  identical evaluation results (scores *and* per-whisker use counts) for the
+  same evaluator seed, so choosing a worker count is purely a wall-clock
+  decision; and
+* **seed hygiene** — distinct ``(evaluator seed, specimen index)`` pairs must
+  never share a packet schedule (regression test for the old
+  ``seed * 7919 + index`` derivation).
+"""
+
+import pytest
+
+from repro.core.config import ConfigRange, ParameterRange
+from repro.core.evaluator import Evaluator, EvaluatorSettings, specimen_seed
+from repro.core.objective import Objective
+from repro.core.optimizer import OptimizerSettings, RemyOptimizer
+from repro.core.whisker import SAMPLE_RESERVOIR, Whisker
+from repro.core.whisker_tree import WhiskerTree
+from repro.netsim.network import NetworkSpec
+from repro.netsim.simulator import Simulation
+from repro.protocols.newreno import NewReno
+from repro.runner import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SimJob,
+    WhiskerStatsDelta,
+    backend_from_spec,
+    collect_whisker_stats,
+    merge_whisker_stats,
+    mix_seed,
+    run_sim_job,
+)
+
+
+def tiny_range() -> ConfigRange:
+    return ConfigRange(
+        link_speed_bps=ParameterRange.exact(4e6),
+        rtt_seconds=ParameterRange.exact(0.08),
+        n_senders=ParameterRange.exact(2),
+        mean_on_seconds=ParameterRange.exact(2.0),
+        mean_off_seconds=ParameterRange.exact(1.0),
+    )
+
+
+def tiny_settings(num_specimens=2, sim_duration=2.0, seed=1) -> EvaluatorSettings:
+    return EvaluatorSettings(
+        num_specimens=num_specimens, sim_duration=sim_duration, seed=seed
+    )
+
+
+# ---------------------------------------------------------------------------
+# Seed derivation
+# ---------------------------------------------------------------------------
+class TestSeedDerivation:
+    def test_old_colliding_pairs_are_now_distinct(self):
+        # The old derivation (seed * 7919 + index) made seed=1/index=0 reuse
+        # the packet schedule of seed=0/index=7919.
+        assert specimen_seed(1, 0) != specimen_seed(0, 7919)
+        assert specimen_seed(2, 0) != specimen_seed(0, 2 * 7919)
+        assert specimen_seed(2, 100) != specimen_seed(1, 7919 + 100)
+
+    def test_specimen_seeds_unique_over_a_grid(self):
+        seeds = {
+            specimen_seed(evaluator_seed, index)
+            for evaluator_seed in range(20)
+            for index in range(100)
+        }
+        assert len(seeds) == 20 * 100
+
+    def test_mix_seed_deterministic_and_component_sensitive(self):
+        assert mix_seed("a", 1, 2) == mix_seed("a", 1, 2)
+        assert mix_seed("a", 1, 2) != mix_seed("a", 2, 1)
+        assert mix_seed("a", 12) != mix_seed("a", 1, 2)
+        assert 0 <= mix_seed("x") < 2**32
+
+    def test_specimen_seed_independent_of_tree(self):
+        # The specimen index, not the candidate, determines the seed.
+        assert specimen_seed(3, 1) == specimen_seed(3, 1)
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------------
+class TestSimJob:
+    def _spec(self, n_flows=2) -> NetworkSpec:
+        return NetworkSpec(
+            link_rate_bps=4e6, rtt=0.08, n_flows=n_flows, queue="droptail",
+            buffer_packets=100,
+        )
+
+    def test_requires_exactly_one_protocol_source(self):
+        with pytest.raises(ValueError):
+            SimJob(job_id=0, spec=self._spec(), duration=1.0, seed=0)
+        with pytest.raises(ValueError):
+            SimJob(
+                job_id=0,
+                spec=self._spec(),
+                duration=1.0,
+                seed=0,
+                tree=WhiskerTree(),
+                protocol_factory=NewReno,
+            )
+
+    def test_workload_count_validated(self):
+        from repro.netsim.sender import AlwaysOnWorkload
+
+        with pytest.raises(ValueError):
+            SimJob(
+                job_id=0,
+                spec=self._spec(n_flows=2),
+                duration=1.0,
+                seed=0,
+                workloads=(AlwaysOnWorkload(),),
+                protocol_factory=NewReno,
+            )
+
+    def test_run_sim_job_matches_direct_simulation(self):
+        spec = self._spec()
+        job = SimJob(
+            job_id=7, spec=spec, duration=3.0, seed=5, protocol_factory=NewReno
+        )
+        job_result = run_sim_job(job)
+        direct = Simulation(
+            spec, [NewReno() for _ in range(2)], None, duration=3.0, seed=5
+        ).run()
+        assert job_result.job_id == 7
+        assert job_result.whisker_stats is None
+        assert job_result.result.throughputs_mbps() == direct.throughputs_mbps()
+        assert job_result.result.queue_delays_ms() == direct.queue_delays_ms()
+
+
+# ---------------------------------------------------------------------------
+# Whisker statistics transport
+# ---------------------------------------------------------------------------
+class TestWhiskerStatsMerge:
+    def test_collect_matches_tree_state(self):
+        tree = WhiskerTree()
+        from repro.core.memory import Memory
+
+        tree.use(Memory(1.0, 2.0, 3.0))
+        tree.use(Memory(4.0, 5.0, 6.0))
+        [delta] = collect_whisker_stats(tree)
+        assert delta.use_count == 2
+        assert len(delta.samples) == 2
+
+    def test_merge_adds_use_counts_in_job_order(self):
+        tree = WhiskerTree()
+        batches = [
+            [WhiskerStatsDelta(use_count=3, samples=[(1.0, 1.0, 1.0)] * 3)],
+            [WhiskerStatsDelta(use_count=4, samples=[(2.0, 2.0, 2.0)] * 4)],
+        ]
+        merge_whisker_stats(tree, batches)
+        [whisker] = tree.whiskers()
+        assert whisker.use_count == 7
+        assert len(whisker._samples) == 7
+        assert whisker._samples[:3] == [(1.0, 1.0, 1.0)] * 3
+
+    def test_merge_respects_sample_reservoir_cap(self):
+        tree = WhiskerTree()
+        big = [
+            WhiskerStatsDelta(
+                use_count=SAMPLE_RESERVOIR + 10,
+                samples=[(float(i), 0.0, 0.0) for i in range(SAMPLE_RESERVOIR)],
+            )
+        ]
+        merge_whisker_stats(tree, [big, big])
+        [whisker] = tree.whiskers()
+        assert whisker.use_count == 2 * (SAMPLE_RESERVOIR + 10)
+        assert len(whisker._samples) == SAMPLE_RESERVOIR
+
+    def test_merge_ring_slot_matches_serial_use(self):
+        from repro.core.memory import Memory
+
+        # Serial ground truth: fill the reservoir, then three more uses.
+        serial_tree = WhiskerTree()
+        [serial_whisker] = serial_tree.whiskers()
+        fill = [(float(i), 0.0, 0.0) for i in range(SAMPLE_RESERVOIR)]
+        extra = [(900.0, 0.0, 0.0), (901.0, 0.0, 0.0), (902.0, 0.0, 0.0)]
+        for sample in fill + extra:
+            serial_whisker.use(Memory(*sample))
+
+        # The same history delivered as two job deltas must land each sample
+        # in the same ring slot.
+        merged_tree = WhiskerTree()
+        merge_whisker_stats(
+            merged_tree,
+            [
+                [WhiskerStatsDelta(use_count=len(fill), samples=fill)],
+                [WhiskerStatsDelta(use_count=len(extra), samples=extra)],
+            ],
+        )
+        [merged_whisker] = merged_tree.whiskers()
+        assert merged_whisker._samples == serial_whisker._samples
+        assert merged_whisker.use_count == serial_whisker.use_count
+
+    def test_merge_rejects_mismatched_rule_count(self):
+        tree = WhiskerTree()
+        with pytest.raises(ValueError):
+            merge_whisker_stats(tree, [[WhiskerStatsDelta(1), WhiskerStatsDelta(1)]])
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+class TestBackendConstruction:
+    def test_backend_from_spec(self):
+        assert isinstance(backend_from_spec("serial"), SerialBackend)
+        with backend_from_spec("process:3") as backend:
+            assert isinstance(backend, ProcessPoolBackend)
+            assert backend.max_workers == 3
+        with pytest.raises(ValueError):
+            backend_from_spec("gpu")
+        with pytest.raises(ValueError):
+            backend_from_spec("serial:2")
+
+    def test_process_pool_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(max_workers=0)
+
+    def test_empty_batch(self):
+        assert SerialBackend().run_batch([]) == []
+        with ProcessPoolBackend(max_workers=1) as backend:
+            assert backend.run_batch([]) == []
+
+
+class TestBackendDeterminism:
+    """Serial and process-pool execution must be indistinguishable."""
+
+    def _evaluate(self, backend, training):
+        evaluator = Evaluator(
+            tiny_range(), Objective.proportional(1.0), tiny_settings(), backend=backend
+        )
+        tree = WhiskerTree()
+        result = evaluator.evaluate(tree, training=training)
+        counts = [w.use_count for w in tree.whiskers()]
+        return result, counts
+
+    def test_serial_and_process_results_identical(self):
+        serial_result, serial_counts = self._evaluate(SerialBackend(), training=True)
+        with ProcessPoolBackend(max_workers=2) as backend:
+            pool_result, pool_counts = self._evaluate(backend, training=True)
+
+        assert pool_result.score == serial_result.score
+        assert pool_result.specimen_scores == serial_result.specimen_scores
+        assert [
+            (fs.specimen_index, fs.flow_id, fs.throughput_bps, fs.score)
+            for fs in pool_result.flow_scores
+        ] == [
+            (fs.specimen_index, fs.flow_id, fs.throughput_bps, fs.score)
+            for fs in serial_result.flow_scores
+        ]
+        assert pool_counts == serial_counts
+        assert sum(pool_counts) > 0
+
+    def test_use_counts_identical_when_jobs_share_a_chunk(self):
+        # executor.map pickles whole chunks, so jobs of one chunk share a
+        # single tree object inside the worker.  With 16 specimens and 2
+        # workers the chunksize is 2; a stats snapshot that isn't reset
+        # per-job would include the chunk-mate's usage and double-count.
+        settings = tiny_settings(num_specimens=16, sim_duration=1.0)
+
+        def run(backend):
+            evaluator = Evaluator(
+                tiny_range(), Objective.proportional(1.0), settings, backend=backend
+            )
+            tree = WhiskerTree()
+            result = evaluator.evaluate(tree, training=True)
+            return result, [w.use_count for w in tree.whiskers()]
+
+        serial_result, serial_counts = run(SerialBackend())
+        with ProcessPoolBackend(max_workers=2) as backend:
+            pool_result, pool_counts = run(backend)
+        assert pool_counts == serial_counts
+        assert pool_result.score == serial_result.score
+
+    def test_process_training_does_not_require_merge_for_scoring(self):
+        serial_result, _ = self._evaluate(SerialBackend(), training=False)
+        with ProcessPoolBackend(max_workers=2) as backend:
+            pool_result, pool_counts = self._evaluate(backend, training=False)
+        assert pool_result.score == serial_result.score
+        assert pool_counts == [0]  # read-only pass leaves the master untouched
+
+    def test_optimizer_trajectory_identical_across_backends(self):
+        def run(backend):
+            evaluator = Evaluator(
+                tiny_range(),
+                Objective.proportional(1.0),
+                tiny_settings(num_specimens=1, sim_duration=1.5),
+                backend=backend,
+            )
+            optimizer = RemyOptimizer(
+                evaluator,
+                tree=WhiskerTree(),
+                settings=OptimizerSettings(
+                    max_epochs=1, max_evaluations=8, candidate_magnitudes=1
+                ),
+            )
+            optimizer.optimize()
+            return (
+                optimizer.state.score_history,
+                [w.action.as_tuple() for w in optimizer.tree.whiskers()],
+            )
+
+        serial_history, serial_actions = run(SerialBackend())
+        with ProcessPoolBackend(max_workers=2) as backend:
+            pool_history, pool_actions = run(backend)
+        assert pool_history == serial_history
+        assert pool_actions == serial_actions
+
+
+class TestEvaluateMany:
+    def test_matches_individual_evaluations(self):
+        from repro.core.action import Action
+
+        evaluator = Evaluator(tiny_range(), settings=tiny_settings())
+        trees = [
+            WhiskerTree(),
+            WhiskerTree(default_action=Action(1.0, 2.0, 1.0)),
+            WhiskerTree(default_action=Action(0.5, 1.0, 10.0)),
+        ]
+        batch_scores = [
+            r.score for r in evaluator.evaluate_many(trees, training=False)
+        ]
+        single_scores = [
+            evaluator.evaluate(tree, training=False).score for tree in trees
+        ]
+        assert batch_scores == single_scores
+
+    def test_counts_one_evaluation_per_tree(self):
+        evaluator = Evaluator(tiny_range(), settings=tiny_settings(num_specimens=1, sim_duration=1.0))
+        evaluator.evaluate_many([WhiskerTree(), WhiskerTree()], training=False)
+        assert evaluator.evaluations == 2
+
+    def test_empty_input(self):
+        evaluator = Evaluator(tiny_range(), settings=tiny_settings())
+        assert evaluator.evaluate_many([], training=False) == []
+        assert evaluator.evaluations == 0
+
+
+class TestRunSchemeBackends:
+    def test_run_scheme_identical_under_process_pool(self):
+        from repro.experiments.base import SchemeSpec, remycc_scheme, run_scheme
+        from repro.netsim.network import NetworkSpec
+        from repro.traffic.onoff import ByteFlowWorkload
+
+        spec = NetworkSpec(
+            link_rate_bps=6e6, rtt=0.1, n_flows=2, queue="droptail", buffer_packets=200
+        )
+
+        def workload(_flow_id):
+            return ByteFlowWorkload.exponential(
+                mean_flow_bytes=50e3, mean_off_seconds=0.5
+            )
+
+        for scheme in (SchemeSpec("NewReno", NewReno), remycc_scheme("delta1")):
+            serial = run_scheme(scheme, spec, workload, n_runs=2, duration=4.0)
+            with ProcessPoolBackend(max_workers=2) as backend:
+                pooled = run_scheme(
+                    scheme, spec, workload, n_runs=2, duration=4.0, backend=backend
+                )
+            assert pooled.throughputs_mbps == serial.throughputs_mbps
+            assert pooled.queue_delays_ms == serial.queue_delays_ms

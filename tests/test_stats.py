@@ -40,13 +40,27 @@ def test_rtt_statistics():
     assert stats.min_rtt == pytest.approx(0.1)
 
 
-def test_loss_rate():
+def test_loss_rate_counts_detected_losses():
     stats = FlowStats(0)
     for _ in range(8):
         stats.record_send(retransmit=False)
     for _ in range(2):
         stats.record_send(retransmit=True)
-    assert stats.loss_rate() == pytest.approx(0.2)
+    stats.record_loss()
+    assert stats.loss_rate() == pytest.approx(0.1)
+
+
+def test_retransmit_rate_is_separate_from_loss_rate():
+    stats = FlowStats(0)
+    for _ in range(8):
+        stats.record_send(retransmit=False)
+    for _ in range(2):
+        stats.record_send(retransmit=True)
+    # One loss event, but the retransmission was itself resent once: the two
+    # rates differ, which is why they are reported separately.
+    stats.record_loss()
+    assert stats.retransmit_rate() == pytest.approx(0.2)
+    assert stats.loss_rate() == pytest.approx(0.1)
 
 
 def test_negative_on_time_rejected():
