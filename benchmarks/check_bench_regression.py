@@ -1,0 +1,115 @@
+"""Fail when the simulator's events/sec regressed against a baseline.
+
+Usage (what the CI bench job runs)::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline /tmp/bench_baseline.json \
+        --current BENCH_simulator.json \
+        --threshold 0.30
+
+Both files are ``BENCH_simulator.json`` trajectories (see
+``benchmarks/test_bench_simulator_speed.py``); the newest entry of each is
+compared.  Rates are compared in *normalized* form (events/sec divided by
+the entry's pure-Python calibration rate) so a slower or faster CI runner
+does not masquerade as a simulator change.  Cases with too few events are
+skipped as noise (e.g. NewReno over classic RED).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Cases below this many simulated events are too noisy to gate on.
+MIN_EVENTS = 2_000
+
+
+def latest_entry(path: Path, prefer_label_prefix: str = "") -> dict:
+    """Newest trajectory entry; with a prefix, the newest entry whose label
+    starts with it (falling back to the overall newest).
+
+    The CI gate prefers ``"ci "``-labeled baseline entries: calibration
+    normalization only corrects first-order machine-speed differences, so
+    once a CI-recorded entry lands in the committed trajectory, comparisons
+    happen within the same runner class instead of against a dev machine.
+    """
+    data = json.loads(path.read_text())
+    history = data.get("history", [])
+    if not history:
+        raise SystemExit(f"{path}: no trajectory entries")
+    if prefer_label_prefix:
+        for entry in reversed(history):
+            if entry.get("label", "").startswith(prefer_label_prefix):
+                return entry
+    return history[-1]
+
+
+def rate_of(entry: dict, case: str) -> float:
+    """Normalized rate when calibration is present, raw events/sec otherwise."""
+    measurement = entry["cases"][case]
+    normalized = measurement.get("normalized")
+    if normalized:
+        return normalized
+    return measurement["events_per_sec"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional regression (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--prefer-baseline-label",
+        default="ci ",
+        help="prefer the newest baseline entry whose label starts with this "
+        "prefix (default 'ci ': compare within the CI runner class when a "
+        "CI-recorded entry has been committed)",
+    )
+    args = parser.parse_args()
+
+    baseline = latest_entry(args.baseline, args.prefer_baseline_label)
+    current = latest_entry(args.current)
+    print(f"baseline entry: {baseline.get('label')!r} ({baseline.get('timestamp')})")
+    print(f"current entry:  {current.get('label')!r} ({current.get('timestamp')})")
+    shared = sorted(set(baseline["cases"]) & set(current["cases"]))
+    if not shared:
+        print("no shared benchmark cases between baseline and current", file=sys.stderr)
+        return 2
+
+    failures = []
+    for case in shared:
+        if baseline["cases"][case]["events"] < MIN_EVENTS:
+            print(f"  skip  {case}: fewer than {MIN_EVENTS} events (too noisy)")
+            continue
+        base_rate = rate_of(baseline, case)
+        cur_rate = rate_of(current, case)
+        change = cur_rate / base_rate - 1.0
+        status = "ok"
+        if change < -args.threshold:
+            status = "FAIL"
+            failures.append(case)
+        print(
+            f"  {status:>4}  {case}: {change:+.1%} "
+            f"(baseline {base_rate:.6g}, current {cur_rate:.6g}, normalized)"
+        )
+
+    if failures:
+        print(
+            f"\nevents/sec regressed by more than {args.threshold:.0%} on: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno case regressed by more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,7 @@ CANDIDATE_GROWTH = 8.0
 MAX_WINDOW_PACKETS = 1_000_000.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Action:
     """A three-component RemyCC action."""
 

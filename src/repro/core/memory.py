@@ -30,7 +30,7 @@ MAX_MEMORY = 16384.0
 MEMORY_DIMENSIONS = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class Memory:
     """A point in the three-dimensional RemyCC memory space."""
 
@@ -110,7 +110,7 @@ class MemoryTracker:
         return self.memory
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRange:
     """An axis-aligned rectangular region of memory space: [lower, upper).
 
@@ -133,14 +133,31 @@ class MemoryRange:
 
     def contains(self, memory: Memory) -> bool:
         for value, low, high in zip(memory, self.lower, self.upper):
-            if value < low:
+            if value < low or value > high:
                 return False
             # The topmost edge of the space is inclusive so MAX_MEMORY maps
             # to a rule; interior upper bounds are exclusive.
-            if value > high or (value == high and high < MAX_MEMORY):
+            if value == high and high < MAX_MEMORY:
                 return False
-            if value >= high and high < MAX_MEMORY:
-                return False
+        return True
+
+    def contains_point(self, v0: float, v1: float, v2: float) -> bool:
+        """Scalar fast path of :meth:`contains`: no Memory object, no zip.
+
+        Sits on the per-ACK whisker-lookup path (both the last-leaf cache
+        check and the linear scan over a grid node's children).
+        """
+        lower = self.lower
+        upper = self.upper
+        high = upper.ack_ewma
+        if v0 < lower.ack_ewma or v0 > high or (v0 == high and high < MAX_MEMORY):
+            return False
+        high = upper.send_ewma
+        if v1 < lower.send_ewma or v1 > high or (v1 == high and high < MAX_MEMORY):
+            return False
+        high = upper.rtt_ratio
+        if v2 < lower.rtt_ratio or v2 > high or (v2 == high and high < MAX_MEMORY):
+            return False
         return True
 
     def center(self) -> Memory:

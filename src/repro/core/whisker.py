@@ -21,7 +21,7 @@ from repro.core.memory import Memory, MemoryRange
 SAMPLE_RESERVOIR = 512
 
 
-@dataclass
+@dataclass(slots=True)
 class Whisker:
     """One piecewise-constant rule: ⟨memory region⟩ → ⟨action⟩."""
 

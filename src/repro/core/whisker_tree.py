@@ -13,23 +13,59 @@ from __future__ import annotations
 from typing import Callable, Iterator, Optional
 
 from repro.core.action import Action
-from repro.core.memory import Memory, MemoryRange
+from repro.core.memory import MAX_MEMORY, Memory, MemoryRange
 from repro.core.whisker import Whisker
 
 
 class _Node:
-    """Internal tree node: either a leaf holding a whisker or eight children."""
+    """Internal tree node: either a leaf holding a whisker or a list of children.
 
-    __slots__ = ("domain", "whisker", "children")
+    A node produced by an octant split additionally stores the split point as
+    ``split_point = (s0, s1, s2)``: lookup then computes the child index with
+    three float comparisons instead of scanning children.  Nodes whose
+    children are not a 2x2x2 octant partition (the synthesized pretrained
+    tables attach a flat 2-D grid of cells under the root) keep
+    ``split_point = None`` and are scanned linearly.
+    """
+
+    __slots__ = ("domain", "whisker", "children", "split_point")
 
     def __init__(self, domain: MemoryRange, whisker: Optional[Whisker] = None):
         self.domain = domain
         self.whisker = whisker
         self.children: list["_Node"] = []
+        self.split_point: Optional[tuple[float, float, float]] = None
 
     @property
     def is_leaf(self) -> bool:
         return self.whisker is not None
+
+
+def detect_octant_split(node: _Node) -> Optional[tuple[float, float, float]]:
+    """Return the split point if ``node``'s children form an octant partition.
+
+    Children must be in :meth:`MemoryRange.split` order: child ``code`` takes
+    the upper half along dimension ``d`` iff bit ``d`` of ``code`` is set, so
+    ``children[0].domain.upper == children[7].domain.lower == split point``.
+    Any other arrangement (or child count) returns ``None``, which makes the
+    lookup fall back to the containment scan.
+    """
+    children = node.children
+    if len(children) != 8:
+        return None
+    split = children[7].domain.lower.as_tuple()
+    low = node.domain.lower.as_tuple()
+    high = node.domain.upper.as_tuple()
+    for code, child in enumerate(children):
+        child_low = child.domain.lower.as_tuple()
+        child_high = child.domain.upper.as_tuple()
+        for dim in range(3):
+            upper_half = code & (1 << dim)
+            if child_low[dim] != (split[dim] if upper_half else low[dim]):
+                return None
+            if child_high[dim] != (high[dim] if upper_half else split[dim]):
+                return None
+    return split
 
 
 class WhiskerTree:
@@ -40,20 +76,54 @@ class WhiskerTree:
         action = default_action if default_action is not None else Action.default()
         self._root = _Node(domain, Whisker(domain=domain, action=action))
         self.name = name
+        #: Structure/action revision counter.  Incremented by
+        #: :meth:`split_whisker` and :meth:`replace_action` so leaf caches
+        #: held outside the tree (see ``RemyCCProtocol``) can be invalidated.
+        self.version = 0
 
     # ------------------------------------------------------------------ lookup
     def find(self, memory: Memory) -> Whisker:
         """Return the leaf whisker whose region contains ``memory``."""
-        memory = memory.clamped()
+        m0 = memory.ack_ewma
+        m1 = memory.send_ewma
+        m2 = memory.rtt_ratio
+        # Clamp in place (scalar): the previous implementation allocated a
+        # whole clamped Memory per lookup.
+        if m0 < 0.0:
+            m0 = 0.0
+        elif m0 > MAX_MEMORY:
+            m0 = MAX_MEMORY
+        if m1 < 0.0:
+            m1 = 0.0
+        elif m1 > MAX_MEMORY:
+            m1 = MAX_MEMORY
+        if m2 < 0.0:
+            m2 = 0.0
+        elif m2 > MAX_MEMORY:
+            m2 = MAX_MEMORY
+        return self.find_point(m0, m1, m2)
+
+    def find_point(self, m0: float, m1: float, m2: float) -> Whisker:
+        """Leaf lookup for an already-clamped scalar memory point."""
         node = self._root
-        while not node.is_leaf:
-            for child in node.children:
-                if child.domain.contains(memory):
-                    node = child
-                    break
-            else:  # pragma: no cover - regions tile the space, so unreachable
-                raise RuntimeError(f"no child contains memory {memory}")
-        assert node.whisker is not None
+        while node.whisker is None:
+            split = node.split_point
+            if split is not None:
+                # Octant descent: three float comparisons pick the child.
+                node = node.children[
+                    (m0 >= split[0])
+                    | ((m1 >= split[1]) << 1)
+                    | ((m2 >= split[2]) << 2)
+                ]
+            else:
+                for child in node.children:
+                    if child.domain.contains_point(m0, m1, m2):
+                        node = child
+                        break
+                else:  # pragma: no cover - regions tile the space, so unreachable
+                    raise RuntimeError(
+                        f"no child contains memory ({m0}, {m1}, {m2})"
+                    )
         return node.whisker
 
     def use(self, memory: Memory) -> Action:
@@ -113,6 +183,7 @@ class WhiskerTree:
         node = self._find_leaf_node(whisker)
         assert node.whisker is not None
         node.whisker.action = action
+        self.version += 1
 
     def split_whisker(self, whisker: Whisker) -> list[Whisker]:
         """Replace ``whisker`` with eight children split at its median trigger."""
@@ -120,6 +191,8 @@ class WhiskerTree:
         children = whisker.split()
         node.whisker = None
         node.children = [_Node(child.domain, child) for child in children]
+        node.split_point = detect_octant_split(node)
+        self.version += 1
         return children
 
     def _find_leaf_node(self, whisker: Whisker) -> _Node:

@@ -25,6 +25,7 @@ from repro.experiments.base import (
     SchemeSpec,
     remycc_scheme,
     run_scheme,
+    run_schemes,
     standard_schemes,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "SchemeSpec",
     "remycc_scheme",
     "run_scheme",
+    "run_schemes",
     "standard_schemes",
 ]

@@ -94,6 +94,44 @@ def standard_schemes(
     return schemes
 
 
+def _scheme_jobs(
+    scheme: SchemeSpec,
+    spec: NetworkSpec,
+    workload_factory: WorkloadFactory,
+    n_runs: int,
+    duration: float,
+    base_seed: int,
+    max_events: Optional[int],
+    first_job_id: int,
+) -> list[SimJob]:
+    """Build the ``n_runs`` jobs for one scheme over a scenario.
+
+    Seeds depend only on ``(base_seed, run_index)`` — never on the scheme or
+    on batch position — so every scheme of a figure is compared on identical
+    packet-level randomness and batching jobs across schemes cannot change
+    any result.
+    """
+    scenario_spec = replace(spec, queue=scheme.queue) if scheme.queue is not None else spec
+    jobs = []
+    for run_index in range(n_runs):
+        workloads = tuple(
+            workload_factory(flow_id) for flow_id in range(scenario_spec.n_flows)
+        )
+        common = dict(
+            job_id=first_job_id + run_index,
+            spec=scenario_spec,
+            duration=duration,
+            seed=base_seed * 10_007 + run_index,
+            workloads=workloads,
+            max_events=max_events,
+        )
+        if scheme.tree is not None:
+            jobs.append(SimJob(tree=scheme.tree, training=False, **common))
+        else:
+            jobs.append(SimJob(protocol_factory=scheme.protocol_factory, **common))
+    return jobs
+
+
 def run_scheme(
     scheme: SchemeSpec,
     spec: NetworkSpec,
@@ -109,32 +147,67 @@ def run_scheme(
     The runs are submitted as one batch to ``backend`` (default: the
     bit-identical :class:`~repro.runner.SerialBackend`).
     """
+    return run_schemes(
+        [scheme],
+        spec,
+        workload_factory,
+        n_runs=n_runs,
+        duration=duration,
+        base_seed=base_seed,
+        max_events=max_events,
+        backend=backend,
+    )[0]
+
+
+def run_schemes(
+    schemes: Sequence[SchemeSpec],
+    spec: NetworkSpec,
+    workload_factory: WorkloadFactory,
+    n_runs: int = 4,
+    duration: float = 30.0,
+    base_seed: int = 0,
+    max_events: Optional[int] = None,
+    backend: Optional[ExecutionBackend] = None,
+) -> list[SchemeSummary]:
+    """Run every scheme over the scenario as ONE backend batch.
+
+    The figure harnesses fan out ``len(schemes) × n_runs`` independent
+    simulations; batching them together (rather than one batch per scheme)
+    keeps a :class:`~repro.runner.ProcessPoolBackend` saturated across the
+    whole figure instead of draining between schemes.  Results are identical
+    to per-scheme batches because per-run seeds and workloads depend only on
+    ``(base_seed, run_index)``.
+    """
     if n_runs <= 0:
         raise ValueError("n_runs must be positive")
-    scenario_spec = replace(spec, queue=scheme.queue) if scheme.queue is not None else spec
-    jobs = []
-    for run_index in range(n_runs):
-        workloads = tuple(
-            workload_factory(flow_id) for flow_id in range(scenario_spec.n_flows)
+    jobs: list[SimJob] = []
+    boundaries: list[int] = []
+    for scheme in schemes:
+        jobs.extend(
+            _scheme_jobs(
+                scheme,
+                spec,
+                workload_factory,
+                n_runs,
+                duration,
+                base_seed,
+                max_events,
+                first_job_id=len(jobs),
+            )
         )
-        common = dict(
-            job_id=run_index,
-            spec=scenario_spec,
-            duration=duration,
-            seed=base_seed * 10_007 + run_index,
-            workloads=workloads,
-            max_events=max_events,
-        )
-        if scheme.tree is not None:
-            jobs.append(SimJob(tree=scheme.tree, training=False, **common))
-        else:
-            jobs.append(SimJob(protocol_factory=scheme.protocol_factory, **common))
+        boundaries.append(len(jobs))
     if backend is None:
         backend = SerialBackend()
-    summary = SchemeSummary(scheme.name)
-    for job_result in backend.run_batch(jobs):
-        summary.add_result(job_result.result)
-    return summary
+    results = backend.run_batch(jobs)
+    summaries = []
+    start = 0
+    for scheme, end in zip(schemes, boundaries):
+        summary = SchemeSummary(scheme.name)
+        for job_result in results[start:end]:
+            summary.add_result(job_result.result)
+        summaries.append(summary)
+        start = end
+    return summaries
 
 
 @dataclass

@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 from repro.experiments.base import (
     ExperimentResult,
     SchemeSpec,
-    run_scheme,
+    run_schemes,
     standard_schemes,
 )
 from repro.netsim.network import NetworkSpec
@@ -78,18 +78,17 @@ def run_figure4(
             "duration": duration,
         },
     )
-    for scheme in schemes:
-        result.add(
-            run_scheme(
-                scheme,
-                spec,
-                workload,
-                n_runs=n_runs,
-                duration=duration,
-                base_seed=base_seed,
-                backend=backend,
-            )
-        )
+    # One batch covers the whole figure (scheme × run fan-out).
+    for summary in run_schemes(
+        schemes,
+        spec,
+        workload,
+        n_runs=n_runs,
+        duration=duration,
+        base_seed=base_seed,
+        backend=backend,
+    ):
+        result.add(summary)
     return result
 
 
@@ -131,16 +130,15 @@ def run_figure5(
             "duration": duration,
         },
     )
-    for scheme in schemes:
-        result.add(
-            run_scheme(
-                scheme,
-                spec,
-                workload,
-                n_runs=n_runs,
-                duration=duration,
-                base_seed=base_seed,
-                backend=backend,
-            )
-        )
+    # One batch covers the whole figure (scheme × run fan-out).
+    for summary in run_schemes(
+        schemes,
+        spec,
+        workload,
+        n_runs=n_runs,
+        duration=duration,
+        base_seed=base_seed,
+        backend=backend,
+    ):
+        result.add(summary)
     return result

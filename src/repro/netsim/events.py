@@ -1,69 +1,90 @@
 """Event scheduler for the discrete-event simulator.
 
-The scheduler is a binary heap of ``(time, sequence, event)`` entries.  The
-monotonically increasing sequence number makes ordering deterministic when
-two events share the same timestamp, which in turn makes every simulation
-reproducible for a given random seed.
+The scheduler is a binary heap of plain ``[time, sequence, callback, args]``
+list entries.  The monotonically increasing sequence number makes ordering
+deterministic when two events share the same timestamp, which in turn makes
+every simulation reproducible for a given random seed.  Because the sequence
+number is unique, heap comparisons never reach the callback slot, so entries
+compare as cheaply as ``(float, int)`` tuples — the previous implementation
+paid a ``dataclass(order=True)`` ``__lt__`` (which builds two tuples per
+comparison) plus a separate ``Event`` object for every scheduled callback.
+
+Two scheduling APIs share the heap:
+
+* :meth:`EventScheduler.schedule` / :meth:`~EventScheduler.schedule_after`
+  return an :class:`Event` cancellation handle (senders need to cancel RTO,
+  pacing and on/off timers);
+* :meth:`EventScheduler.post` / :meth:`~EventScheduler.post_after` are the
+  allocation-lean fire-and-forget variants used by the per-packet hot path
+  (link serialization, propagation, ACK return), which never cancels.
+
+Cancellation is lazy: a cancelled entry has its callback slot set to ``None``
+and stays in the heap until popped.  ``pending`` is a maintained counter
+(schedule +1, cancel −1, execute −1), not a heap scan.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulator is driven into an inconsistent state."""
 
 
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    sequence: int
-    event: "Event" = field(compare=False)
-
-
 class Event:
-    """A scheduled callback.
+    """Cancellation handle for a scheduled callback.
 
-    Events are returned by :meth:`EventScheduler.schedule` and can be
-    cancelled.  Cancellation is lazy: the entry stays in the heap but is
-    skipped when popped.
+    Returned by :meth:`EventScheduler.schedule`.  Cancellation is lazy: the
+    heap entry stays queued but is skipped when popped.  Cancelling an event
+    that already ran is a harmless no-op.
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("_entry", "_scheduler", "cancelled")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
-        self.time = time
-        self.callback = callback
-        self.args = args
+    def __init__(self, entry: list, scheduler: "EventScheduler"):
+        self._entry = entry
+        self._scheduler = scheduler
         self.cancelled = False
+
+    @property
+    def time(self) -> float:
+        """Absolute time the callback is (or was) due to run."""
+        return self._entry[0]
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when due."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        entry = self._entry
+        if entry[2] is not None:  # still queued (not yet executed)
+            entry[2] = None
+            entry[3] = ()  # release references held by the args tuple
+            self._scheduler._pending -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
-        name = getattr(self.callback, "__qualname__", repr(self.callback))
-        return f"Event(t={self.time:.6f}, {name}, {state})"
+        return f"Event(t={self._entry[0]:.6f}, {state})"
 
 
 class EventScheduler:
     """Priority-queue event scheduler with deterministic tie-breaking."""
 
-    def __init__(self, start_time: float = 0.0):
-        self._heap: list[_HeapEntry] = []
-        self._counter = itertools.count()
-        self._now = float(start_time)
-        self._processed = 0
+    __slots__ = ("_heap", "_sequence", "now", "_processed", "_pending")
 
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
+    def __init__(self, start_time: float = 0.0):
+        self._heap: list[list] = []
+        self._sequence = 0
+        #: Current simulation time in seconds.  A plain attribute (not a
+        #: property): it is read on every hop of the per-packet hot path.
+        self.now = float(start_time)
+        self._processed = 0
+        self._pending = 0
 
     @property
     def events_processed(self) -> int:
@@ -72,50 +93,118 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of (possibly cancelled) events still queued."""
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        """Number of queued, not-yet-cancelled events (O(1) counter)."""
+        return self._pending
+
+    # ------------------------------------------------------------------ scheduling
+    def _push(self, time: float, callback: Callable[..., None], args: tuple) -> list:
+        now = self.now
+        if time < now:
+            if time < now - 1e-12:
+                raise SimulationError(
+                    f"cannot schedule event at t={time:.9f} before now={now:.9f}"
+                )
+            time = now
+        entry = [time, self._sequence, callback, args]
+        self._sequence += 1
+        _heappush(self._heap, entry)
+        self._pending += 1
+        return entry
 
     def schedule(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` to run at absolute ``time``.
+        """Schedule ``callback(*args)`` at absolute ``time``; returns a handle.
 
         Scheduling in the past is an error; scheduling exactly at ``now`` is
         allowed and runs after currently executing events.
         """
-        if time < self._now - 1e-12:
-            raise SimulationError(
-                f"cannot schedule event at t={time:.9f} before now={self._now:.9f}"
-            )
-        event = Event(max(time, self._now), callback, args)
-        heapq.heappush(self._heap, _HeapEntry(event.time, next(self._counter), event))
-        return event
+        return Event(self._push(time, callback, args), self)
 
     def schedule_after(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule(self._now + delay, callback, *args)
+        return Event(self._push(self.now + delay, callback, args), self)
 
+    def post(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle is built.
+
+        The per-packet hot path (link serialization, propagation delays, ACK
+        return paths) never cancels, so it uses this allocation-lean variant.
+        """
+        # _push inlined: this runs several times per simulated packet.
+        now = self.now
+        if time < now:
+            if time < now - 1e-12:
+                raise SimulationError(
+                    f"cannot schedule event at t={time:.9f} before now={now:.9f}"
+                )
+            time = now
+        _heappush(self._heap, [time, self._sequence, callback, args])
+        self._sequence += 1
+        self._pending += 1
+
+    def post_after(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_after`."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        # _push inlined (delay >= 0 implies the time is never in the past).
+        _heappush(self._heap, [self.now + delay, self._sequence, callback, args])
+        self._sequence += 1
+        self._pending += 1
+
+    def post_entry_after(self, delay: float, callback: Callable[..., None], *args: Any) -> list:
+        """Like :meth:`post_after`, but return the raw heap entry.
+
+        The entry doubles as a zero-allocation cancellation token for
+        :meth:`cancel_entry`; ``entry[2] is None`` means it was cancelled or
+        has already run.  Used by the sender's per-ACK RTO/pacing rearm,
+        where a full :class:`Event` handle per acknowledgment is measurable.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        entry = [self.now + delay, self._sequence, callback, args]
+        self._sequence += 1
+        _heappush(self._heap, entry)
+        self._pending += 1
+        return entry
+
+    def post_entry(self, time: float, callback: Callable[..., None], *args: Any) -> list:
+        """Absolute-time variant of :meth:`post_entry_after`."""
+        return self._push(time, callback, args)
+
+    def cancel_entry(self, entry: list) -> None:
+        """Cancel a raw entry from :meth:`post_entry_after` (no-op if done)."""
+        if entry[2] is not None:
+            entry[2] = None
+            entry[3] = ()
+            self._pending -= 1
+
+    # ------------------------------------------------------------------ inspection
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next pending event, or ``None``."""
-        self._drop_cancelled()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            _heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
-    def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].event.cancelled:
-            heapq.heappop(self._heap)
-
+    # ------------------------------------------------------------------ execution
     def step(self) -> bool:
         """Execute the next pending event.  Returns ``False`` if none remain."""
-        self._drop_cancelled()
-        if not self._heap:
-            return False
-        entry = heapq.heappop(self._heap)
-        self._now = entry.time
-        self._processed += 1
-        entry.event.callback(*entry.event.args)
-        return True
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            callback = entry[2]
+            if callback is None:
+                continue
+            entry[2] = None  # mark executed so a late cancel() is a no-op
+            self.now = entry[0]
+            self._processed += 1
+            self._pending -= 1
+            callback(*entry[3])
+            return True
+        return False
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
         """Run events until ``end_time`` (inclusive) or the queue drains.
@@ -123,20 +212,29 @@ class EventScheduler:
         Returns the number of events executed.  ``max_events`` guards against
         runaway simulations (e.g. a protocol bug producing an event storm).
         """
+        heap = self._heap
         executed = 0
-        while True:
-            self._drop_cancelled()
-            if not self._heap:
-                break
-            if self._heap[0].time > end_time:
+        while heap:
+            entry = heap[0]
+            if entry[2] is None:
+                _heappop(heap)
+                continue
+            if entry[0] > end_time:
                 break
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} before reaching t={end_time}"
                 )
-            self.step()
+            _heappop(heap)
+            callback = entry[2]
+            entry[2] = None  # mark executed so a late cancel() is a no-op
+            self.now = entry[0]
+            self._processed += 1
+            self._pending -= 1
+            callback(*entry[3])
             executed += 1
-        self._now = max(self._now, end_time)
+        if end_time > self.now:
+            self.now = end_time
         return executed
 
     def run(self, max_events: Optional[int] = None) -> int:

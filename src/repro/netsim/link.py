@@ -59,7 +59,7 @@ class LinkBase:
         self.packets_delivered += 1
         self.bytes_delivered += packet.size_bytes
         if self.propagation_delay > 0:
-            self.scheduler.schedule_after(self.propagation_delay, self.deliver, packet)
+            self.scheduler.post_after(self.propagation_delay, self.deliver, packet)
         else:
             self.deliver(packet)
 
@@ -89,10 +89,6 @@ class ConstantRateLink(LinkBase):
         """Nominal rate in 1500-byte packets per second (used by XCP)."""
         return self.rate_bps / (1500 * 8)
 
-    def transmission_time(self, packet: Packet) -> float:
-        """Time to serialize ``packet`` onto the wire."""
-        return packet.size_bytes * 8 / self.rate_bps
-
     def receive(self, packet: Packet) -> None:
         """Packet arrives at the head of the link (from a sender or node)."""
         accepted = self.queue.enqueue(packet, self.scheduler.now)
@@ -100,14 +96,16 @@ class ConstantRateLink(LinkBase):
             self._start_transmission()
 
     def _start_transmission(self) -> None:
-        packet = self.queue.dequeue(self.scheduler.now)
+        scheduler = self.scheduler
+        packet = self.queue.dequeue(scheduler.now)
         if packet is None:
             self._busy = False
             return
         self._observe_wait(packet)
         self._busy = True
-        self.scheduler.schedule_after(
-            self.transmission_time(packet), self._finish_transmission, packet
+        # Serialization delay: size / rate.
+        scheduler.post_after(
+            packet.size_bytes * 8 / self.rate_bps, self._finish_transmission, packet
         )
 
     def _finish_transmission(self, packet: Packet) -> None:
@@ -170,7 +168,7 @@ class TraceDrivenLink(LinkBase):
         if when is None:
             return
         when = max(when, self.scheduler.now)
-        self.scheduler.schedule(when, self._opportunity)
+        self.scheduler.post(when, self._opportunity)
 
     def _opportunity(self) -> None:
         self._index += 1

@@ -222,17 +222,21 @@ class DumbbellNetwork:
         if endpoints is None:
             return  # packet from a detached flow (should not happen)
         one_way = endpoints.rtt / 2
-        self.scheduler.schedule_after(one_way, endpoints.receiver.on_packet, packet)
+        self.scheduler.post_after(one_way, endpoints.receiver.on_packet, packet)
 
     def _return_ack(self, flow_id: int, ack: Packet) -> None:
         endpoints = self.flows[flow_id]
         one_way = endpoints.rtt / 2
-        self.scheduler.schedule_after(one_way, endpoints.sender.on_ack, ack)
+        self.scheduler.post_after(one_way, endpoints.sender.on_ack, ack)
 
     def _observe_queue_delay(self, packet: Packet, delay: float) -> None:
         endpoints = self.flows.get(packet.flow_id)
         if endpoints is not None:
-            endpoints.stats.record_queue_delay(delay)
+            stats = endpoints.stats  # record_queue_delay, inlined (per packet)
+            stats.queue_delay_sum += delay
+            stats.queue_delay_count += 1
+            if delay > stats.max_queue_delay:
+                stats.max_queue_delay = delay
 
     # -- introspection ----------------------------------------------------------
     @property

@@ -8,8 +8,7 @@ rewritten in a real network.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 #: Default data segment size in bytes (Ethernet MTU payload, as in ns-2 runs).
 DATA_PACKET_BYTES = 1500
@@ -127,11 +126,14 @@ class Packet:
         return f"Packet({kind} flow={self.flow_id} seq={self.seq} bytes={self.size_bytes})"
 
 
-@dataclass(frozen=True)
-class AckInfo:
+class AckInfo(NamedTuple):
     """Digest of an acknowledgment handed to a congestion-control module.
 
     All times are absolute simulation seconds unless stated otherwise.
+    A NamedTuple rather than a frozen dataclass: one is built per ACK, and a
+    tuple constructs several times faster than a frozen dataclass (whose
+    ``__init__`` goes through ``object.__setattr__`` per field) while staying
+    just as immutable.
     """
 
     now: float

@@ -54,15 +54,18 @@ class Receiver:
             )
 
         seq = packet.seq
-        is_new = seq >= self.next_expected and seq not in self._out_of_order
-        if is_new:
-            self.stats.record_delivery(packet.size_bytes)
-            if seq == self.next_expected:
-                self.next_expected += 1
+        next_expected = self.next_expected
+        if seq >= next_expected and seq not in self._out_of_order:
+            stats = self.stats  # record_delivery, inlined on the per-packet path
+            stats.bytes_received += packet.size_bytes
+            stats.packets_received += 1
+            if seq == next_expected:
+                next_expected += 1
                 # Drain any buffered out-of-order segments that are now in order.
-                while self.next_expected in self._out_of_order:
-                    self._out_of_order.discard(self.next_expected)
-                    self.next_expected += 1
+                while next_expected in self._out_of_order:
+                    self._out_of_order.discard(next_expected)
+                    next_expected += 1
+                self.next_expected = next_expected
             else:
                 self._out_of_order.add(seq)
         else:

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import math
 import random
+from collections import deque
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Callable, Optional
 
 from typing import TYPE_CHECKING
 
-from repro.netsim.events import Event, EventScheduler
+from repro.netsim.events import EventScheduler
 from repro.netsim.packet import AckInfo, Packet
 from repro.netsim.stats import FlowStats
 
@@ -94,7 +96,7 @@ class AlwaysOnWorkload(Workload):
         return FlowDemand(duration=math.inf)
 
 
-@dataclass
+@dataclass(slots=True)
 class _SentInfo:
     sent_time: float
     first_sent_time: float
@@ -126,12 +128,24 @@ class Sender:
         self.mss_bytes = mss_bytes
         self.rng = rng if rng is not None else random.Random(flow_id)
         self.trace_sequence = trace_sequence
+        # Skip the per-packet on_packet_sent call for modules that keep the
+        # base class's no-op (everything except XCP).
+        from repro.protocols.base import CongestionControl
 
-        # Transport state.
+        self._cc_observes_sends = (
+            type(cc).on_packet_sent is not CongestionControl.on_packet_sent
+        )
+
+        # Transport state.  ``in_flight`` maps seq -> _SentInfo; the frontier
+        # is a min-heap over in-flight sequence numbers (with lazy deletion:
+        # a selectively-acked seq leaves a stale entry behind), so cumulative
+        # ACKs release packets in O(released · log n) instead of scanning the
+        # whole flight per ACK.
         self.state = "idle"  # idle -> off/on cycles
         self.next_seq = 0
         self.in_flight: dict[int, _SentInfo] = {}
-        self.retransmit_queue: list[int] = []
+        self._flight_frontier: list[int] = []
+        self.retransmit_queue: deque[int] = deque()
         self.highest_cum_ack = 0
         self.dup_count = 0
         self.in_recovery = False
@@ -144,13 +158,16 @@ class Sender:
         self.rttvar: Optional[float] = None
         self.rto = 1.0
 
-        # Workload bookkeeping.
+        # Workload bookkeeping.  Timers are raw scheduler heap entries
+        # (:meth:`EventScheduler.post_entry_after`), not Event handles: the
+        # RTO is cancelled and rearmed on every acknowledgment, so the
+        # handle allocation would sit directly on the hot path.
         self.segments_remaining: Optional[int] = None
         self.on_start_time = 0.0
-        self._on_until_event: Optional[Event] = None
-        self._rto_event: Optional[Event] = None
-        self._pacing_event: Optional[Event] = None
-        self._switch_event: Optional[Event] = None
+        self._on_until_event: Optional[list] = None
+        self._rto_event: Optional[list] = None
+        self._pacing_event: Optional[list] = None
+        self._switch_event: Optional[list] = None
 
     # ------------------------------------------------------------------ wiring
     def connect(self, transmit: TransmitFn) -> None:
@@ -164,7 +181,7 @@ class Sender:
             raise RuntimeError("sender already started")
         self.state = "off"
         delay = self.workload.first_on_delay(self.rng)
-        self._switch_event = self.scheduler.schedule_after(delay, self._switch_on)
+        self._switch_event = self.scheduler.post_entry_after(delay, self._switch_on)
 
     def finalize(self, end_time: float) -> None:
         """Close the books at the end of the simulation."""
@@ -176,17 +193,13 @@ class Sender:
     def is_on(self) -> bool:
         return self.state == "on"
 
-    @property
-    def effective_window(self) -> float:
-        """Window used for admission: never below one packet to avoid deadlock."""
-        return max(1.0, self.cc.window)
-
     # ------------------------------------------------------------------ on/off
     def _switch_on(self) -> None:
         now = self.scheduler.now
         self.state = "on"
         self.on_start_time = now
         self.in_flight.clear()
+        self._flight_frontier.clear()
         self.retransmit_queue.clear()
         self.dup_count = 0
         self.in_recovery = False
@@ -203,7 +216,7 @@ class Sender:
         else:
             self.segments_remaining = None
             if demand.duration is not None and math.isfinite(demand.duration):
-                self._on_until_event = self.scheduler.schedule_after(
+                self._on_until_event = self.scheduler.post_entry_after(
                     demand.duration, self._switch_off
                 )
         self._maybe_send()
@@ -215,6 +228,7 @@ class Sender:
         self.stats.record_on_time(now - self.on_start_time)
         self.state = "off"
         self.in_flight.clear()
+        self._flight_frontier.clear()
         self.retransmit_queue.clear()
         self.segments_remaining = None
         self._cancel(self._rto_event)
@@ -226,34 +240,38 @@ class Sender:
 
         off_duration = self.workload.next_off_duration(self.rng)
         if math.isfinite(off_duration):
-            self._switch_event = self.scheduler.schedule_after(off_duration, self._switch_on)
+            self._switch_event = self.scheduler.post_entry_after(
+                off_duration, self._switch_on
+            )
 
-    @staticmethod
-    def _cancel(event: Optional[Event]) -> None:
-        if event is not None:
-            event.cancel()
+    def _cancel(self, entry: Optional[list]) -> None:
+        if entry is not None:
+            self.scheduler.cancel_entry(entry)
 
     # ------------------------------------------------------------------ sending
-    def _has_data_to_send(self) -> bool:
-        if self.retransmit_queue:
-            return True
-        if self.segments_remaining is None:
-            return True
-        return self.segments_remaining > 0
-
     def _maybe_send(self) -> None:
         """Send as many packets as the window, pacing and workload allow."""
         if self.state != "on" or self.transmit is None:
             return
         now = self.scheduler.now
-        while self._has_data_to_send():
+        cc = self.cc
+        in_flight = self.in_flight
+        retransmit_queue = self.retransmit_queue
+        while True:
             # Retransmissions are already counted in flight, so sending them
             # does not grow the flight size and must not be window-blocked
             # (otherwise a lost packet could never be repaired).
-            is_retransmit = bool(self.retransmit_queue)
-            if not is_retransmit and len(self.in_flight) >= self.effective_window:
-                return
-            intersend = self.cc.intersend_time
+            if not retransmit_queue:
+                # A flow with a byte demand stops once its segments run out
+                # (None means an unlimited / duration-bounded demand).
+                remaining = self.segments_remaining
+                if remaining is not None and remaining <= 0:
+                    return
+                # Admission window: never below one packet to avoid deadlock.
+                window = cc.window
+                if len(in_flight) >= (window if window > 1.0 else 1.0):
+                    return
+            intersend = cc.intersend_time
             if intersend > 0:
                 next_allowed = self.last_send_time + intersend
                 if now < next_allowed - 1e-12:
@@ -262,11 +280,12 @@ class Sender:
             self._send_one(now)
 
     def _schedule_pacing(self, when: float) -> None:
-        if self._pacing_event is not None and not self._pacing_event.cancelled:
-            if self._pacing_event.time <= when + 1e-12:
+        entry = self._pacing_event
+        if entry is not None and entry[2] is not None:  # still armed
+            if entry[0] <= when + 1e-12:
                 return
-            self._pacing_event.cancel()
-        self._pacing_event = self.scheduler.schedule(when, self._pacing_fire)
+            self.scheduler.cancel_entry(entry)
+        self._pacing_event = self.scheduler.post_entry(when, self._pacing_fire)
 
     def _pacing_fire(self) -> None:
         self._pacing_event = None
@@ -274,7 +293,7 @@ class Sender:
 
     def _send_one(self, now: float) -> None:
         if self.retransmit_queue:
-            seq = self.retransmit_queue.pop(0)
+            seq = self.retransmit_queue.popleft()
             retransmit = True
         else:
             seq = self.next_seq
@@ -293,9 +312,14 @@ class Sender:
             info.retransmitted = True
         else:
             self.in_flight[seq] = _SentInfo(now, now, retransmit, self.mss_bytes)
+            heappush(self._flight_frontier, seq)
 
-        self.stats.record_send(retransmit)
-        self.cc.on_packet_sent(packet, now)
+        stats = self.stats  # record_send, inlined on the per-packet path
+        stats.packets_sent += 1
+        if retransmit:
+            stats.retransmissions += 1
+        if self._cc_observes_sends:
+            self.cc.on_packet_sent(packet, now)
         self.last_send_time = now
         self.transmit(packet)
         self._arm_rto()
@@ -309,17 +333,28 @@ class Sender:
             return  # stale ACK from an abandoned flow
         now = self.scheduler.now
 
+        ack_seq = ack.ack_seq
+        in_flight = self.in_flight
+        frontier = self._flight_frontier
         newly_acked_bytes = 0
-        # Cumulative acknowledgment releases everything below ack_seq.
-        for seq in [s for s in self.in_flight if s < ack.ack_seq]:
-            newly_acked_bytes += self.in_flight.pop(seq).size_bytes
+        # Cumulative acknowledgment releases everything below ack_seq: walk
+        # the ordered frontier instead of scanning the whole flight.  A
+        # frontier entry whose seq is no longer in flight (selectively acked
+        # earlier, or re-pushed on retransmission) is simply discarded.
+        while frontier and frontier[0] < ack_seq:
+            info = in_flight.pop(heappop(frontier), None)
+            if info is not None:
+                newly_acked_bytes += info.size_bytes
         # The specific segment that generated this ACK may be above the
         # cumulative point (out-of-order arrival): release it selectively.
-        if ack.sacked_seq in self.in_flight:
-            newly_acked_bytes += self.in_flight.pop(ack.sacked_seq).size_bytes
+        info = in_flight.pop(ack.sacked_seq, None)
+        if info is not None:
+            newly_acked_bytes += info.size_bytes
         # Anything cumulatively acknowledged no longer needs retransmission.
         if self.retransmit_queue:
-            self.retransmit_queue = [s for s in self.retransmit_queue if s >= ack.ack_seq]
+            self.retransmit_queue = deque(
+                s for s in self.retransmit_queue if s >= ack_seq
+            )
 
         # RTT estimation (Karn's rule: ignore retransmitted segments).
         rtt: Optional[float] = None
@@ -327,38 +362,45 @@ class Sender:
             rtt = now - ack.echo_sent_time
             if rtt > 0:
                 self._update_rtt(rtt)
-                self.stats.record_rtt(rtt)
+                stats = self.stats  # record_rtt, inlined on the per-ACK path
+                stats.rtt_sum += rtt
+                stats.rtt_count += 1
+                if stats.min_rtt is None or rtt < stats.min_rtt:
+                    stats.min_rtt = rtt
 
         # A duplicate ACK is one whose cumulative acknowledgment does not
         # advance — even if it selectively acknowledges an out-of-order
         # segment (that is exactly the situation that signals a hole).
-        is_duplicate = ack.ack_seq <= self.highest_cum_ack
+        is_duplicate = ack_seq <= self.highest_cum_ack
         self._update_recovery_state(ack, now, is_duplicate)
 
-        info = AckInfo(
-            now=now,
-            acked_seq=ack.sacked_seq,
-            cumulative_ack=ack.ack_seq,
-            newly_acked_bytes=newly_acked_bytes,
-            rtt=rtt,
-            min_rtt=self.min_rtt,
-            echo_sent_time=ack.echo_sent_time,
-            receiver_time=ack.receiver_time,
-            ecn_echo=ack.ecn_echo,
-            in_flight=len(self.in_flight),
-            xcp_feedback=ack.xcp_feedback,
-            is_duplicate=is_duplicate,
+        self.cc.on_ack(
+            AckInfo(
+                now,
+                ack.sacked_seq,
+                ack_seq,
+                newly_acked_bytes,
+                rtt,
+                self.min_rtt,
+                ack.echo_sent_time,
+                ack.receiver_time,
+                ack.ecn_echo,
+                len(in_flight),
+                ack.xcp_feedback,
+                is_duplicate,
+            )
         )
-        self.cc.on_ack(info)
 
         if self.trace_sequence:
-            self.stats.sequence_trace.append((now, ack.ack_seq))
+            self.stats.sequence_trace.append((now, ack_seq))
 
-        if self._flow_complete():
+        # _flow_complete(), inlined on the per-ACK path (None == 0 is False,
+        # so always-on flows never trip it).
+        if self.segments_remaining == 0 and not in_flight and not self.retransmit_queue:
             self._switch_off()
             return
 
-        if self.in_flight:
+        if in_flight:
             self._arm_rto(restart=True)
         else:
             self._cancel(self._rto_event)
@@ -366,7 +408,7 @@ class Sender:
         self._maybe_send()
 
     def _update_recovery_state(self, ack: Packet, now: float, is_duplicate: bool) -> None:
-        if ack.ack_seq > self.highest_cum_ack:
+        if not is_duplicate:
             self.highest_cum_ack = ack.ack_seq
             self.dup_count = 0
             if self.in_recovery:
@@ -380,7 +422,7 @@ class Sender:
                     # but is still below the recovery point, so the segment it
                     # now stops at is the next hole — retransmit it directly
                     # without waiting for three more duplicates or an RTO.
-                    self.retransmit_queue.insert(0, ack.ack_seq)
+                    self.retransmit_queue.appendleft(ack.ack_seq)
         elif is_duplicate:
             self.dup_count += 1
             if self.dup_count >= DUPACK_THRESHOLD and not self.in_recovery:
@@ -391,7 +433,7 @@ class Sender:
         self.recovery_point = self.next_seq - 1
         self.dup_count = 0
         if missing_seq in self.in_flight and missing_seq not in self.retransmit_queue:
-            self.retransmit_queue.insert(0, missing_seq)
+            self.retransmit_queue.appendleft(missing_seq)
         self.stats.record_loss()
         self.cc.on_loss(now)
 
@@ -416,21 +458,27 @@ class Sender:
         self.rto = min(MAX_RTO, max(MIN_RTO, self.srtt + 4 * self.rttvar))
 
     def _arm_rto(self, restart: bool = False) -> None:
+        entry = self._rto_event
         if restart:
-            self._cancel(self._rto_event)
-            self._rto_event = None
-        if self._rto_event is not None and not self._rto_event.cancelled:
+            if entry is not None:
+                self.scheduler.cancel_entry(entry)
+        elif entry is not None and entry[2] is not None:  # still armed
             return
-        self._rto_event = self.scheduler.schedule_after(self.rto, self._rto_fire)
+        self._rto_event = self.scheduler.post_entry_after(self.rto, self._rto_fire)
 
     def _rto_fire(self) -> None:
         self._rto_event = None
         if self.state != "on" or not self.in_flight:
             return
         now = self.scheduler.now
-        oldest = min(self.in_flight)
+        # The frontier's first live entry is the oldest in-flight segment
+        # (every in-flight seq is on the frontier; stale tops are discarded).
+        frontier = self._flight_frontier
+        while frontier[0] not in self.in_flight:
+            heappop(frontier)
+        oldest = frontier[0]
         if oldest not in self.retransmit_queue:
-            self.retransmit_queue.insert(0, oldest)
+            self.retransmit_queue.appendleft(oldest)
         self.stats.record_timeout()
         self.dup_count = 0
         self.in_recovery = False

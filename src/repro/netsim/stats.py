@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowStats:
     """Accumulated statistics for one sender-receiver pair."""
 

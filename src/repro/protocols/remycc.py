@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.memory import MemoryTracker
+from repro.core.memory import MAX_MEMORY, Memory, MemoryTracker
+from repro.core.whisker import Whisker
 from repro.core.whisker_tree import WhiskerTree
 from repro.netsim.packet import AckInfo
 from repro.protocols.base import CongestionControl
@@ -41,6 +42,15 @@ class RemyCCProtocol(CongestionControl):
         self.tree = tree
         self.training = training
         self.tracker = MemoryTracker()
+        # Last-leaf cache: consecutive ACKs usually hit the same rule, so the
+        # previous leaf is revalidated with one cheap containment check
+        # before walking the tree.  ``tree.version`` invalidates the cache
+        # whenever the tree's structure or actions change (split_whisker /
+        # replace_action); in-place mutation of the cached whisker's action
+        # (the optimizer's hill-climb) is visible through the shared object
+        # either way.
+        self._cached_leaf: Optional[Whisker] = None
+        self._cached_version = -1
         if label is not None:
             self.name = label
         elif tree.name:
@@ -62,12 +72,40 @@ class RemyCCProtocol(CongestionControl):
 
     def on_ack(self, ack: AckInfo) -> None:
         memory = self.tracker.on_ack(ack.now, ack.echo_sent_time, ack.rtt)
-        if self.training:
-            action = self.tree.use(memory)
-        else:
-            action = self.tree.action_for(memory)
+        leaf = self._lookup(memory)
+        action = leaf.use(memory) if self.training else leaf.action
         self.cwnd = action.apply(self.cwnd)
         self.intersend_time = action.intersend_seconds
+
+    def _lookup(self, memory: Memory) -> Whisker:
+        """Find the rule for ``memory``, trying the last-leaf cache first."""
+        m0 = memory.ack_ewma
+        m1 = memory.send_ewma
+        m2 = memory.rtt_ratio
+        if m0 < 0.0:
+            m0 = 0.0
+        elif m0 > MAX_MEMORY:
+            m0 = MAX_MEMORY
+        if m1 < 0.0:
+            m1 = 0.0
+        elif m1 > MAX_MEMORY:
+            m1 = MAX_MEMORY
+        if m2 < 0.0:
+            m2 = 0.0
+        elif m2 > MAX_MEMORY:
+            m2 = MAX_MEMORY
+        tree = self.tree
+        leaf = self._cached_leaf
+        if (
+            leaf is not None
+            and self._cached_version == tree.version
+            and leaf.domain.contains_point(m0, m1, m2)
+        ):
+            return leaf
+        leaf = tree.find_point(m0, m1, m2)
+        self._cached_leaf = leaf
+        self._cached_version = tree.version
+        return leaf
 
     def on_loss(self, now: float) -> None:
         # RemyCCs do not use loss as a congestion signal (§4.1); the harness's

@@ -105,3 +105,102 @@ def test_events_processed_counter(scheduler):
         scheduler.schedule(i * 0.1, lambda: None)
     scheduler.run()
     assert scheduler.events_processed == 5
+
+
+# ---------------------------------------------------------------------------
+# Tuple-heap scheduler: maintained pending counter, cancellation semantics,
+# fire-and-forget posts and raw-entry timers.
+# ---------------------------------------------------------------------------
+def test_pending_is_maintained_not_scanned(scheduler):
+    events = [scheduler.schedule(1.0 + i, lambda: None) for i in range(4)]
+    assert scheduler.pending == 4
+    events[1].cancel()
+    assert scheduler.pending == 3
+    events[1].cancel()  # double cancel must not double-decrement
+    assert scheduler.pending == 3
+    scheduler.step()
+    assert scheduler.pending == 2
+    scheduler.run()
+    assert scheduler.pending == 0
+
+
+def test_cancel_after_execution_is_noop(scheduler):
+    calls = []
+    event = scheduler.schedule(1.0, calls.append, "x")
+    scheduler.run()
+    assert calls == ["x"]
+    event.cancel()  # already ran: must not corrupt the pending counter
+    assert scheduler.pending == 0
+    assert scheduler.events_processed == 1
+
+
+def test_cancelling_the_currently_firing_event_is_safe(scheduler):
+    # A callback that cancels its own (already firing) event: the old
+    # Event-object scheduler tolerated this, the tuple-heap one must too.
+    holder = {}
+
+    def fire():
+        holder["event"].cancel()
+
+    holder["event"] = scheduler.schedule(1.0, fire)
+    scheduler.run()
+    assert scheduler.events_processed == 1
+    assert scheduler.pending == 0
+
+
+def test_post_and_schedule_share_the_tiebreak_sequence(scheduler):
+    order = []
+    scheduler.post(1.0, order.append, "a")
+    scheduler.schedule(1.0, order.append, "b")
+    scheduler.post_after(1.0, order.append, "c")
+    scheduler.post(1.0, order.append, "d")
+    scheduler.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_post_rejects_past_times(scheduler):
+    scheduler.schedule(1.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(SimulationError):
+        scheduler.post(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        scheduler.post_after(-0.1, lambda: None)
+
+
+def test_post_entry_cancellation(scheduler):
+    calls = []
+    entry = scheduler.post_entry_after(1.0, calls.append, "x")
+    assert scheduler.pending == 1
+    scheduler.cancel_entry(entry)
+    assert entry[2] is None
+    assert scheduler.pending == 0
+    scheduler.cancel_entry(entry)  # idempotent
+    assert scheduler.pending == 0
+    scheduler.run()
+    assert calls == []
+
+
+def test_post_entry_absolute_time(scheduler):
+    seen = []
+    scheduler.post_entry(2.5, lambda: seen.append(scheduler.now))
+    scheduler.run()
+    assert seen == [2.5]
+
+
+def test_cancelled_events_do_not_count_as_executed(scheduler):
+    kept = []
+    events = [scheduler.schedule(1.0 + i * 0.1, kept.append, i) for i in range(10)]
+    for event in events[::2]:
+        event.cancel()
+    executed = scheduler.run_until(10.0)
+    assert executed == 5
+    assert scheduler.events_processed == 5
+    assert kept == [1, 3, 5, 7, 9]
+
+
+def test_tiebreak_is_fifo_across_many_same_time_events(scheduler):
+    order = []
+    for i in range(50):
+        scheduler.schedule(1.0, order.append, i)
+    scheduler.run()
+    assert order == list(range(50))

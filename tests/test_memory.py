@@ -95,6 +95,32 @@ class TestMemoryRange:
         assert region.contains(Memory(9.999, 0, 0))
         assert not region.contains(Memory(10, 0, 0))
 
+    def test_max_memory_edge_is_inclusive(self):
+        # A region whose upper bound sits on the global maximum includes that
+        # edge (so MAX_MEMORY maps to a rule); interior bounds stay exclusive.
+        top = MemoryRange(
+            Memory(10, 10, 10), Memory(MAX_MEMORY, MAX_MEMORY, MAX_MEMORY)
+        )
+        assert top.contains(Memory(MAX_MEMORY, MAX_MEMORY, MAX_MEMORY))
+        assert top.contains(Memory(10, MAX_MEMORY, 10))
+        mixed = MemoryRange(Memory(0, 0, 0), Memory(10, MAX_MEMORY, 10))
+        assert mixed.contains(Memory(5, MAX_MEMORY, 5))
+        assert not mixed.contains(Memory(10, MAX_MEMORY, 5))
+        assert not mixed.contains(Memory(5, MAX_MEMORY, 10))
+
+    @given(
+        point=st.tuples(coords, coords, coords),
+        lows=st.tuples(coords, coords, coords),
+        highs=st.tuples(coords, coords, coords),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_contains_point_matches_contains(self, point, lows, highs):
+        lower = Memory(*(min(a, b) for a, b in zip(lows, highs)))
+        upper = Memory(*(max(a, b) for a, b in zip(lows, highs)))
+        region = MemoryRange(lower, upper)
+        memory = Memory(*point)
+        assert region.contains_point(*point) == region.contains(memory)
+
     def test_invalid_bounds_rejected(self):
         with pytest.raises(ValueError):
             MemoryRange(Memory(5, 0, 0), Memory(1, 10, 10))

@@ -146,3 +146,75 @@ class TestWhiskerTree:
         for point in points:
             containing = [w for w in tree.whiskers() if w.domain.contains(point.clamped())]
             assert len(containing) == 1
+
+
+class TestOctantLookup:
+    """The octant-indexed descent must agree with a containment region scan."""
+
+    @given(
+        points=st.lists(memories, min_size=1, max_size=40),
+        split_seeds=st.lists(memories, min_size=3, max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_octant_index_matches_region_scan(self, points, split_seeds):
+        tree = WhiskerTree()
+        # Grow a tree with data-driven (median-trigger) split points.
+        for seed_point in split_seeds:
+            whisker = tree.find(seed_point)
+            whisker.use(seed_point)
+            tree.split_whisker(whisker)
+        for point in points:
+            clamped = point.clamped()
+            by_descent = tree.find(point)
+            by_scan = [w for w in tree.whiskers() if w.domain.contains(clamped)]
+            assert len(by_scan) == 1
+            assert by_descent is by_scan[0]
+
+    def test_split_nodes_store_their_split_point(self):
+        tree = WhiskerTree()
+        [whisker] = tree.whiskers()
+        whisker.use(Memory(100.0, 200.0, 3.0))
+        tree.split_whisker(whisker)
+        root = tree._root
+        assert root.split_point is not None
+        assert root.split_point == root.children[7].domain.lower.as_tuple()
+        assert root.split_point == root.children[0].domain.upper.as_tuple()
+
+    def test_version_bumped_by_structural_and_action_changes(self):
+        tree = WhiskerTree()
+        initial = tree.version
+        tree.split_whisker(tree.whiskers()[0])
+        assert tree.version > initial
+        after_split = tree.version
+        tree.replace_action(tree.whiskers()[0], Action(1.1, 2.0, 1.0))
+        assert tree.version > after_split
+
+    def test_grid_trees_use_the_scan_fallback(self):
+        # The synthesized pretrained tables attach a flat (non-octant) grid of
+        # cells under the root; lookups must still resolve every point.
+        from repro.core.pretrained import pretrained_remycc
+
+        tree = pretrained_remycc("delta1")
+        assert tree._root.split_point is None
+        for point in (
+            Memory(0, 0, 0),
+            Memory(1.0, 1.0, 1.2),
+            Memory(MAX_MEMORY, MAX_MEMORY, MAX_MEMORY),
+        ):
+            whisker = tree.find(point)
+            assert whisker.domain.contains(point.clamped())
+
+    def test_serialization_round_trip_preserves_fast_descent(self):
+        from repro.core.serialization import whisker_tree_from_dict, whisker_tree_to_dict
+
+        tree = WhiskerTree()
+        [whisker] = tree.whiskers()
+        whisker.use(Memory(7.0, 9.0, 1.5))
+        tree.split_whisker(whisker)
+        tree.split_whisker(tree.whiskers()[2])
+        reloaded = whisker_tree_from_dict(whisker_tree_to_dict(tree))
+        assert reloaded._root.split_point == tree._root.split_point
+        for point in (Memory(0, 0, 0), Memory(7.0, 9.0, 1.5), Memory(8, 10, 2)):
+            assert reloaded.find(point).domain.as_tuple() == tree.find(
+                point
+            ).domain.as_tuple()

@@ -1,0 +1,160 @@
+"""Bit-exact determinism fingerprint of the simulator across representative cases.
+
+Run with ``PYTHONPATH=src python tools/fingerprint.py out.json`` before and
+after a hot-path change; the two JSON files must be identical if the change
+preserved simulation semantics (tentpole requirement of the flattened hot
+path: same-seed serial runs stay bit-identical).
+"""
+
+import json
+import sys
+
+from repro.core.config import ConfigRange, ParameterRange
+from repro.core.evaluator import Evaluator, EvaluatorSettings
+from repro.core.objective import Objective
+from repro.core.pretrained import pretrained_remycc
+from repro.core.whisker_tree import WhiskerTree
+from repro.netsim.network import NetworkSpec
+from repro.netsim.sender import AlwaysOnWorkload
+from repro.netsim.simulator import Simulation
+from repro.protocols.cubic import Cubic
+from repro.protocols.newreno import NewReno
+from repro.protocols.remycc import RemyCCProtocol
+from repro.protocols.vegas import Vegas
+from repro.protocols.xcp import XCP
+from repro.traffic.onoff import ByteFlowWorkload
+
+
+def flow_fp(stats):
+    return [
+        stats.flow_id,
+        stats.bytes_received,
+        stats.packets_received,
+        stats.packets_sent,
+        stats.retransmissions,
+        stats.losses_detected,
+        stats.timeouts,
+        repr(stats.on_time),
+        repr(stats.queue_delay_sum),
+        stats.queue_delay_count,
+        repr(stats.rtt_sum),
+        stats.rtt_count,
+        repr(stats.max_queue_delay),
+    ]
+
+
+def sim_fp(result):
+    return {
+        "events": result.events_processed,
+        "drops": result.queue_drops,
+        "marks": result.queue_marks,
+        "flows": [flow_fp(s) for s in result.flow_stats],
+    }
+
+
+def run_case(queue, protos, workloads, duration=3.0, seed=7, n=4):
+    spec = NetworkSpec(
+        link_rate_bps=10e6, rtt=0.05, n_flows=n, queue=queue, buffer_packets=120
+    )
+    sim = Simulation(spec, protos(n), workloads(n), duration=duration, seed=seed)
+    return sim_fp(sim.run())
+
+
+def main():
+    fp = {}
+    always_on = lambda n: [AlwaysOnWorkload() for _ in range(n)]
+    onoff = lambda n: [
+        ByteFlowWorkload.exponential(mean_flow_bytes=60e3, mean_off_seconds=0.3)
+        for _ in range(n)
+    ]
+    tree = pretrained_remycc("delta1")
+    cases = {
+        "newreno-droptail": ("droptail", lambda n: [NewReno() for _ in range(n)], always_on),
+        "newreno-codel": ("codel", lambda n: [NewReno() for _ in range(n)], always_on),
+        "cubic-sfqcodel": ("sfqcodel", lambda n: [Cubic() for _ in range(n)], always_on),
+        "vegas-red": ("red", lambda n: [Vegas() for _ in range(n)], always_on),
+        "xcp": ("xcp", lambda n: [XCP() for _ in range(n)], always_on),
+        "remy-droptail-onoff": (
+            "droptail",
+            lambda n: [RemyCCProtocol(tree) for _ in range(n)],
+            onoff,
+        ),
+        "newreno-droptail-onoff": (
+            "droptail",
+            lambda n: [NewReno() for _ in range(n)],
+            onoff,
+        ),
+    }
+    for name, (queue, protos, workloads) in cases.items():
+        fp[name] = run_case(queue, protos, workloads)
+
+    # Training-mode evaluation: scores and per-whisker use counts.
+    evaluator = Evaluator(
+        ConfigRange(
+            link_speed_bps=ParameterRange.exact(4e6),
+            rtt_seconds=ParameterRange.exact(0.08),
+            n_senders=ParameterRange.exact(2),
+            mean_on_seconds=ParameterRange.exact(2.0),
+            mean_off_seconds=ParameterRange.exact(1.0),
+        ),
+        Objective.proportional(1.0),
+        EvaluatorSettings(num_specimens=2, sim_duration=2.0, seed=1),
+    )
+    t = WhiskerTree()
+    res = evaluator.evaluate(t, training=True)
+    fp["evaluator-training"] = {
+        "score": repr(res.score),
+        "specimen_scores": [repr(s) for s in res.specimen_scores],
+        "use_counts": [w.use_count for w in t.whiskers()],
+    }
+
+    # A split tree exercised through the octree descent.
+    from repro.core.memory import Memory
+
+    split_tree = pretrained_remycc("delta10")
+    w = split_tree.find(Memory(1.0, 1.0, 1.2))
+    for i in range(40):
+        w.use(Memory(1.0 + i * 0.01, 1.0, 1.2))
+    split_tree.split_whisker(w)
+    spec = NetworkSpec(
+        link_rate_bps=10e6, rtt=0.05, n_flows=2, queue="droptail", buffer_packets=120
+    )
+    sim = Simulation(
+        spec,
+        [RemyCCProtocol(split_tree, training=True) for _ in range(2)],
+        None,
+        duration=3.0,
+        seed=3,
+    )
+    fp["remy-split-tree"] = sim_fp(sim.run())
+    fp["remy-split-tree"]["use_counts"] = [w.use_count for w in split_tree.whiskers()]
+
+    # Figure-style harness (covers run_scheme / batch sharding).
+    from repro.experiments.dumbbell import run_figure4
+    from repro.experiments.base import SchemeSpec
+
+    result = run_figure4(
+        n_flows=3,
+        n_runs=2,
+        duration=3.0,
+        schemes=[SchemeSpec("NewReno", NewReno), SchemeSpec("Vegas", Vegas)],
+    )
+    fp["figure4-mini"] = {
+        name: {
+            "tputs": [repr(v) for v in summary.throughputs_mbps],
+            "delays": [repr(v) for v in summary.queue_delays_ms],
+        }
+        for name, summary in result.summaries.items()
+    }
+
+    out = json.dumps(fp, indent=1, sort_keys=True)
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w") as fh:
+            fh.write(out)
+        print(f"wrote {sys.argv[1]} ({len(out)} bytes)")
+    else:
+        print(out)
+
+
+if __name__ == "__main__":
+    main()
