@@ -12,9 +12,19 @@ that the serial baseline stays friendly to CI.  On a ≥ 4-core machine the
 4-worker pool must come in at least 2× faster than serial; on smaller
 machines the speedup assertion is skipped (there is nothing to parallelize
 onto) but both paths still run and must agree on every score.
+
+Each run appends one entry (serial seconds, pool seconds, speedup) to the
+``BENCH_parallel_eval.json`` trajectory at the repository root (override the
+path with ``BENCH_PARALLEL_EVAL_JSON``, the entry label with ``BENCH_LABEL``)
+— the same labelling/dedup hygiene as ``BENCH_simulator.json``, so the CI
+bench job can publish both trajectories as one artifact.
 """
 
+import json
+import os
 import time
+from datetime import datetime, timezone
+from pathlib import Path
 
 import pytest
 
@@ -25,8 +35,43 @@ from repro.core.objective import Objective
 from repro.core.whisker_tree import WhiskerTree
 from repro.runner import ProcessPoolBackend, SerialBackend, available_workers
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
 WORKERS = 4
 N_CANDIDATES = 8
+
+#: Measurement recorded by the test, flushed by the module fixture below.
+_RESULT: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_trajectory():
+    """Append this run's measurement to the parallel-eval trajectory file."""
+    yield
+    if not _RESULT:
+        return
+    from test_bench_simulator_speed import _entry_label
+
+    path = Path(
+        os.environ.get("BENCH_PARALLEL_EVAL_JSON", REPO_ROOT / "BENCH_parallel_eval.json")
+    )
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text()).get("history", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    label = _entry_label()
+    if "BENCH_LABEL" not in os.environ:
+        history = [entry for entry in history if entry.get("label") != label]
+    history.append(
+        {
+            "label": label,
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            **_RESULT,
+        }
+    )
+    path.write_text(json.dumps({"schema": 1, "history": history}, indent=1) + "\n")
 
 
 def _design_range() -> ConfigRange:
@@ -79,6 +124,16 @@ def test_parallel_neighborhood_evaluation_speedup(benchmark):
         f"\nserial {serial_elapsed:.2f}s, {WORKERS}-worker pool {pool_elapsed:.2f}s "
         f"({speedup:.2f}x, {N_CANDIDATES} candidates x {_settings().num_specimens} specimens, "
         f"{available_workers()} CPUs available)"
+    )
+    _RESULT.update(
+        {
+            "workers": WORKERS,
+            "cpus_available": available_workers(),
+            "jobs": N_CANDIDATES * _settings().num_specimens,
+            "serial_seconds": round(serial_elapsed, 6),
+            "pool_seconds": round(pool_elapsed, 6),
+            "speedup": round(speedup, 3),
+        }
     )
 
     # Determinism is non-negotiable regardless of core count.

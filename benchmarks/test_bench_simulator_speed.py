@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -96,9 +97,46 @@ def _measure(case: str, rounds: int = 3) -> dict:
     return measurement
 
 
+def _git_short_sha() -> str:
+    """Short SHA of HEAD, or '' outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return proc.stdout.strip() if proc.returncode == 0 else ""
+
+
+def _entry_label() -> str:
+    """Label for this run's trajectory entry.
+
+    ``BENCH_LABEL`` wins when set (CI stamps the full commit SHA there);
+    otherwise entries are labelled ``local@<short-sha>`` so a measurement is
+    always traceable to the code that produced it.  A bare ``"local"`` label
+    only appears outside a git checkout.
+    """
+    label = os.environ.get("BENCH_LABEL")
+    if label:
+        return label
+    sha = _git_short_sha()
+    return f"local@{sha}" if sha else "local"
+
+
 @pytest.fixture(scope="module", autouse=True)
 def _write_trajectory():
-    """Append this run's measurements to the events/sec trajectory file."""
+    """Append this run's measurements to the events/sec trajectory file.
+
+    Hygiene rule: default-labelled entries (``local@<sha>`` / ``local``)
+    *replace* any previous entry with the same label instead of piling up —
+    re-running the bench on unchanged code must not grow the committed
+    trajectory with duplicates.  Explicitly labelled entries (``BENCH_LABEL``)
+    always append, recording deliberate milestones.
+    """
     yield
     if not _RESULTS:
         return
@@ -110,8 +148,11 @@ def _write_trajectory():
         except (json.JSONDecodeError, AttributeError):
             history = []
     calibration = _calibration_rate()
+    label = _entry_label()
+    if "BENCH_LABEL" not in os.environ:
+        history = [entry for entry in history if entry.get("label") != label]
     entry = {
-        "label": os.environ.get("BENCH_LABEL", "local"),
+        "label": label,
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "calibration_rate": round(calibration, 1),
         "cases": {

@@ -188,7 +188,11 @@ class Evaluator:
         same specimens with the same seeds — so all ``len(trees) ×
         num_specimens`` simulations are submitted together, letting a
         parallel backend keep every worker busy across the whole candidate
-        neighbourhood rather than one evaluation at a time.
+        neighbourhood rather than one evaluation at a time.  Jobs are
+        ordered tree-major, which is also what makes
+        :class:`~repro.runner.ProcessPoolBackend`'s chunked submission
+        cheap: consecutive jobs share a rule table, so each chunk pickles
+        that table once rather than once per job.
         """
         trees = list(trees)
         if not trees:

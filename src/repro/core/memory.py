@@ -102,12 +102,21 @@ class MemoryTracker:
 
         ack_gap_ms = max(0.0, (ack_time - self._last_ack_time) * 1000.0)
         send_gap_ms = max(0.0, (echo_sent_time - self._last_echo_time) * 1000.0)
-        self.memory.ack_ewma = (1 - EWMA_WEIGHT) * self.memory.ack_ewma + EWMA_WEIGHT * ack_gap_ms
-        self.memory.send_ewma = (1 - EWMA_WEIGHT) * self.memory.send_ewma + EWMA_WEIGHT * send_gap_ms
+        memory = self.memory
+        memory.ack_ewma = (1 - EWMA_WEIGHT) * memory.ack_ewma + EWMA_WEIGHT * ack_gap_ms
+        memory.send_ewma = (1 - EWMA_WEIGHT) * memory.send_ewma + EWMA_WEIGHT * send_gap_ms
         self._last_ack_time = ack_time
         self._last_echo_time = echo_sent_time
-        self.memory = self.memory.clamped()
-        return self.memory
+        # Clamp in place (all three signals are non-negative by construction,
+        # so only the upper bound can bind); ``clamped()`` would allocate a
+        # fresh Memory on every acknowledgment.
+        if memory.ack_ewma > MAX_MEMORY:
+            memory.ack_ewma = MAX_MEMORY
+        if memory.send_ewma > MAX_MEMORY:
+            memory.send_ewma = MAX_MEMORY
+        if memory.rtt_ratio > MAX_MEMORY:
+            memory.rtt_ratio = MAX_MEMORY
+        return memory
 
 
 @dataclass(slots=True)

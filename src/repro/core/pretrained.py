@@ -41,7 +41,7 @@ from typing import Optional, Sequence
 from repro.core.action import Action, MAX_INTERSEND_MS, MIN_INTERSEND_MS
 from repro.core.memory import MAX_MEMORY, Memory, MemoryRange
 from repro.core.whisker import Whisker
-from repro.core.whisker_tree import WhiskerTree, _Node
+from repro.core.whisker_tree import WhiskerTree, _Node, index_node
 
 #: Default bin edges (milliseconds) for the ack_ewma axis.  Geometric spacing
 #: covers everything from datacenter ACK gaps (~0.1 ms) to congested
@@ -196,6 +196,9 @@ def synthesize_remycc(
                 settings, _bin_center(ack_low, ack_high), _bin_center(ratio_low, ratio_high)
             )
             root.children.append(_Node(domain, Whisker(domain=domain, action=action)))
+    # Index the grid so lookups bisect the bin edges instead of scanning
+    # every cell on a last-leaf cache miss.
+    index_node(root)
     tree._root = root
     return tree
 

@@ -15,7 +15,7 @@ from typing import Any, Union
 from repro.core.action import Action
 from repro.core.memory import Memory, MemoryRange
 from repro.core.whisker import Whisker
-from repro.core.whisker_tree import WhiskerTree, _Node, detect_octant_split
+from repro.core.whisker_tree import WhiskerTree, _Node, index_node
 
 FORMAT_VERSION = 1
 
@@ -71,9 +71,10 @@ def _node_from_dict(data: dict[str, Any]) -> _Node:
         return _Node(domain, whisker)
     node = _Node(domain)
     node.children = [_node_from_dict(child) for child in data["children"]]
-    # Re-derive the octant split point so reloaded trees keep the fast
-    # three-comparison descent (grid-style nodes fall back to the scan).
-    node.split_point = detect_octant_split(node)
+    # Re-derive the fast-descent metadata so reloaded trees keep the
+    # three-comparison octant descent (or the grid-edge bisection for
+    # pretrained-style grid nodes; anything else falls back to the scan).
+    index_node(node)
     return node
 
 

@@ -10,6 +10,7 @@ with finer-grained actions.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Callable, Iterator, Optional
 
 from repro.core.action import Action
@@ -23,18 +24,20 @@ class _Node:
     A node produced by an octant split additionally stores the split point as
     ``split_point = (s0, s1, s2)``: lookup then computes the child index with
     three float comparisons instead of scanning children.  Nodes whose
-    children are not a 2x2x2 octant partition (the synthesized pretrained
-    tables attach a flat 2-D grid of cells under the root) keep
-    ``split_point = None`` and are scanned linearly.
+    children form a row-major 2-D grid over (ack_ewma, rtt_ratio) — the shape
+    the synthesized pretrained tables attach under the root — store the bin
+    edges in ``grid_index`` and are descended by bisection.  Anything else is
+    scanned linearly.
     """
 
-    __slots__ = ("domain", "whisker", "children", "split_point")
+    __slots__ = ("domain", "whisker", "children", "split_point", "grid_index")
 
     def __init__(self, domain: MemoryRange, whisker: Optional[Whisker] = None):
         self.domain = domain
         self.whisker = whisker
         self.children: list["_Node"] = []
         self.split_point: Optional[tuple[float, float, float]] = None
+        self.grid_index: Optional[tuple[tuple[float, ...], tuple[float, ...], int]] = None
 
     @property
     def is_leaf(self) -> bool:
@@ -66,6 +69,84 @@ def detect_octant_split(node: _Node) -> Optional[tuple[float, float, float]]:
             if child_high[dim] != (high[dim] if upper_half else split[dim]):
                 return None
     return split
+
+
+def detect_grid_partition(
+    node: _Node,
+) -> Optional[tuple[tuple[float, ...], tuple[float, ...], int]]:
+    """Return bisection metadata if ``node``'s children tile a 2-D grid.
+
+    The synthesized pretrained tables (see :mod:`repro.core.pretrained`)
+    attach a flat row-major grid of cells under the root: children iterate
+    ack_ewma bins in the outer loop and rtt_ratio bins in the inner loop,
+    and every cell spans the node's full send_ewma extent.  For such nodes
+    lookup can bisect the two sorted edge lists instead of scanning ~112
+    cells with a containment test each.
+
+    Returns ``(interior_ack_edges, interior_ratio_edges, n_ratio_bins)`` —
+    interior edges only, so ``bisect_right(edges, value)`` yields the bin
+    index directly with the same boundary semantics as
+    :meth:`MemoryRange.contains_point` (lower edges inclusive, upper edges
+    exclusive except at ``MAX_MEMORY``) — or ``None`` for any other shape.
+    """
+    children = node.children
+    n = len(children)
+    if n < 4:
+        return None
+    lower = node.domain.lower
+    upper = node.domain.upper
+    # Infer the rtt_ratio edges from the leading run of children that share
+    # the first ack_ewma bin.
+    first = children[0].domain
+    ack_low = first.lower.ack_ewma
+    ack_high = first.upper.ack_ewma
+    ratio_edges = [first.lower.rtt_ratio]
+    n_ratio = 0
+    for child in children:
+        domain = child.domain
+        if domain.lower.ack_ewma != ack_low:
+            break
+        if domain.upper.ack_ewma != ack_high:
+            return None
+        if domain.lower.rtt_ratio != ratio_edges[-1]:
+            return None
+        ratio_edges.append(domain.upper.rtt_ratio)
+        n_ratio += 1
+    if n_ratio < 2 or n % n_ratio != 0:
+        return None
+    n_ack = n // n_ratio
+    if n_ack < 2:
+        return None
+    if ratio_edges[0] != lower.rtt_ratio or ratio_edges[-1] != upper.rtt_ratio:
+        return None
+    # Verify every cell against the inferred grid, row by row.
+    ack_edges = [lower.ack_ewma]
+    for row in range(n_ack):
+        row_low = children[row * n_ratio].domain.lower.ack_ewma
+        row_high = children[row * n_ratio].domain.upper.ack_ewma
+        if row_low != ack_edges[-1]:
+            return None
+        ack_edges.append(row_high)
+        for col in range(n_ratio):
+            domain = children[row * n_ratio + col].domain
+            if (
+                domain.lower.ack_ewma != row_low
+                or domain.upper.ack_ewma != row_high
+                or domain.lower.rtt_ratio != ratio_edges[col]
+                or domain.upper.rtt_ratio != ratio_edges[col + 1]
+                or domain.lower.send_ewma != lower.send_ewma
+                or domain.upper.send_ewma != upper.send_ewma
+            ):
+                return None
+    if ack_edges[-1] != upper.ack_ewma:
+        return None
+    return tuple(ack_edges[1:-1]), tuple(ratio_edges[1:-1]), n_ratio
+
+
+def index_node(node: _Node) -> None:
+    """(Re)derive the fast-descent metadata for a node's current children."""
+    node.split_point = detect_octant_split(node)
+    node.grid_index = None if node.split_point is not None else detect_grid_partition(node)
 
 
 class WhiskerTree:
@@ -115,15 +196,25 @@ class WhiskerTree:
                     | ((m1 >= split[1]) << 1)
                     | ((m2 >= split[2]) << 2)
                 ]
-            else:
-                for child in node.children:
-                    if child.domain.contains_point(m0, m1, m2):
-                        node = child
-                        break
-                else:  # pragma: no cover - regions tile the space, so unreachable
-                    raise RuntimeError(
-                        f"no child contains memory ({m0}, {m1}, {m2})"
-                    )
+                continue
+            grid = node.grid_index
+            if grid is not None:
+                # Grid descent (pretrained tables): two bisections over the
+                # (ack_ewma, rtt_ratio) bin edges pick the cell directly.
+                ack_edges, ratio_edges, n_ratio = grid
+                node = node.children[
+                    bisect_right(ack_edges, m0) * n_ratio
+                    + bisect_right(ratio_edges, m2)
+                ]
+                continue
+            for child in node.children:
+                if child.domain.contains_point(m0, m1, m2):
+                    node = child
+                    break
+            else:  # pragma: no cover - regions tile the space, so unreachable
+                raise RuntimeError(
+                    f"no child contains memory ({m0}, {m1}, {m2})"
+                )
         return node.whisker
 
     def use(self, memory: Memory) -> Action:
@@ -191,7 +282,7 @@ class WhiskerTree:
         children = whisker.split()
         node.whisker = None
         node.children = [_Node(child.domain, child) for child in children]
-        node.split_point = detect_octant_split(node)
+        index_node(node)
         self.version += 1
         return children
 

@@ -37,6 +37,12 @@ class LinkBase:
         #: Optional callback invoked with (packet, queueing_delay_seconds)
         #: whenever a packet leaves the queue; used for delay statistics.
         self.delay_observer: Optional[DelayObserver] = None
+        #: Fast path for the common consumer of the delay observer: a map
+        #: from flow id to a :class:`~repro.netsim.stats.FlowStats` whose
+        #: queueing-delay counters the link updates inline (two callback
+        #: hops per transmitted packet otherwise).  Takes precedence over
+        #: ``delay_observer`` when set.
+        self.delay_stats: Optional[dict] = None
         self.packets_delivered = 0
         self.bytes_delivered = 0
 
@@ -48,9 +54,27 @@ class LinkBase:
     # -- helpers -------------------------------------------------------------
     def _observe_wait(self, packet: Packet) -> None:
         """Report how long the packet waited in the queue (excludes its own
-        serialization time) to the delay observer, if any."""
-        if self.delay_observer is not None:
-            self.delay_observer(packet, max(0.0, self.scheduler.now - packet.enqueue_time))
+        serialization time) to the delay statistics, if any are attached.
+
+        An explicitly set ``delay_observer`` wins over ``delay_stats`` so
+        that overriding the hook on a wired-up network keeps working the way
+        it always has; the stats map is the allocation-free default path.
+        """
+        observer = self.delay_observer
+        if observer is not None:
+            observer(packet, max(0.0, self.scheduler.now - packet.enqueue_time))
+            return
+        stats_map = self.delay_stats
+        if stats_map is not None:
+            stats = stats_map.get(packet.flow_id)
+            if stats is not None:
+                delay = self.scheduler.now - packet.enqueue_time
+                if delay < 0.0:
+                    delay = 0.0
+                stats.queue_delay_sum += delay
+                stats.queue_delay_count += 1
+                if delay > stats.max_queue_delay:
+                    stats.max_queue_delay = delay
 
     def _emit(self, packet: Packet) -> None:
         """Record a departure and schedule arrival at the far end."""
@@ -101,7 +125,22 @@ class ConstantRateLink(LinkBase):
         if packet is None:
             self._busy = False
             return
-        self._observe_wait(packet)
+        # _observe_wait, inlined on the per-packet path (same precedence:
+        # an explicit delay_observer overrides the delay_stats fast path).
+        if self.delay_observer is not None:
+            self.delay_observer(packet, max(0.0, scheduler.now - packet.enqueue_time))
+        else:
+            stats_map = self.delay_stats
+            if stats_map is not None:
+                stats = stats_map.get(packet.flow_id)
+                if stats is not None:
+                    delay = scheduler.now - packet.enqueue_time
+                    if delay < 0.0:
+                        delay = 0.0
+                    stats.queue_delay_sum += delay
+                    stats.queue_delay_count += 1
+                    if delay > stats.max_queue_delay:
+                        stats.max_queue_delay = delay
         self._busy = True
         # Serialization delay: size / rate.
         scheduler.post_after(
@@ -109,7 +148,18 @@ class ConstantRateLink(LinkBase):
         )
 
     def _finish_transmission(self, packet: Packet) -> None:
-        self._emit(packet)
+        # _emit, inlined: serialization finished, hand the packet across the
+        # propagation delay and immediately start serializing the successor
+        # (the run-to-completion chain: transmit -> dequeue -> next transmit).
+        deliver = self.deliver
+        if deliver is None:
+            raise RuntimeError(f"{self.name}: deliver callback not connected")
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size_bytes
+        if self.propagation_delay > 0:
+            self.scheduler.post_after(self.propagation_delay, deliver, packet)
+        else:
+            deliver(packet)
         self._start_transmission()
 
 

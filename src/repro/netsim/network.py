@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Optional, Sequence, Union
 
 from repro.netsim.aqm import CoDelQueue, REDQueue
@@ -201,8 +202,14 @@ class DumbbellNetwork:
                 name="bottleneck",
             )
         self.bottleneck.connect(self._deliver_data)
-        self.bottleneck.delay_observer = self._observe_queue_delay
+        #: flow id -> FlowStats; the link updates queueing-delay counters
+        #: inline instead of calling back through two observer hops.
+        self._delay_stats: dict[int, FlowStats] = {}
+        self.bottleneck.delay_stats = self._delay_stats
         self.flows: dict[int, FlowEndpoints] = {}
+        #: flow id -> (one-way delay, receiver callback): precomputed so the
+        #: per-packet forward hop is one dict lookup and one post.
+        self._data_routes: dict[int, tuple[float, Callable[[Packet], None]]] = {}
 
     # -- flow attachment -------------------------------------------------------
     def attach_flow(self, flow_id: int, sender: Sender, receiver: Receiver) -> FlowEndpoints:
@@ -212,31 +219,24 @@ class DumbbellNetwork:
         rtt = self.spec.rtt_for_flow(flow_id)
         endpoints = FlowEndpoints(sender=sender, receiver=receiver, stats=sender.stats, rtt=rtt)
         sender.connect(self.bottleneck.receive)
-        receiver.connect(lambda ack, fid=flow_id: self._return_ack(fid, ack))
+        one_way = rtt / 2
+        # The return path is uncongested: bind the one-way delay and the
+        # sender's ACK handler directly into the receiver's callback so no
+        # per-ACK dict lookup or division remains (a partial, not a lambda —
+        # the partial call is C-level, a lambda would cost a frame per ACK).
+        receiver.connect(partial(self.scheduler.post_after, one_way, sender.on_ack))
         self.flows[flow_id] = endpoints
+        self._delay_stats[flow_id] = sender.stats
+        self._data_routes[flow_id] = (one_way, receiver.on_packet)
         return endpoints
 
     # -- packet plumbing -------------------------------------------------------
     def _deliver_data(self, packet: Packet) -> None:
-        endpoints = self.flows.get(packet.flow_id)
-        if endpoints is None:
-            return  # packet from a detached flow (should not happen)
-        one_way = endpoints.rtt / 2
-        self.scheduler.post_after(one_way, endpoints.receiver.on_packet, packet)
-
-    def _return_ack(self, flow_id: int, ack: Packet) -> None:
-        endpoints = self.flows[flow_id]
-        one_way = endpoints.rtt / 2
-        self.scheduler.post_after(one_way, endpoints.sender.on_ack, ack)
-
-    def _observe_queue_delay(self, packet: Packet, delay: float) -> None:
-        endpoints = self.flows.get(packet.flow_id)
-        if endpoints is not None:
-            stats = endpoints.stats  # record_queue_delay, inlined (per packet)
-            stats.queue_delay_sum += delay
-            stats.queue_delay_count += 1
-            if delay > stats.max_queue_delay:
-                stats.max_queue_delay = delay
+        route = self._data_routes.get(packet.flow_id)
+        if route is None:
+            packet.release()  # packet from a detached flow (should not happen)
+            return
+        self.scheduler.post_after(route[0], route[1], packet)
 
     # -- introspection ----------------------------------------------------------
     @property

@@ -45,7 +45,13 @@ class Receiver:
         self._out_of_order.clear()
 
     def on_packet(self, packet: Packet) -> None:
-        """Handle an arriving data packet and emit its acknowledgment."""
+        """Handle an arriving data packet and emit its acknowledgment.
+
+        This is the data packet's delivery sink: ``make_ack`` converts a
+        pooled packet into its acknowledgment in place, so the packet must
+        not be touched after that call (the ACK's eventual sink — normally
+        the sender's ``on_ack`` — releases the instance back to the pool).
+        """
         if packet.is_ack:
             raise ValueError("receiver got an ACK packet")
         if packet.flow_id != self.flow_id:

@@ -20,7 +20,7 @@ from typing import Callable, Optional
 from typing import TYPE_CHECKING
 
 from repro.netsim.events import EventScheduler
-from repro.netsim.packet import AckInfo, Packet
+from repro.netsim.packet import AckInfo, Packet, PacketPool
 from repro.netsim.stats import FlowStats
 
 if TYPE_CHECKING:  # imported only for type annotations; avoids a package cycle
@@ -118,6 +118,7 @@ class Sender:
         mss_bytes: int = 1500,
         rng: Optional[random.Random] = None,
         trace_sequence: bool = False,
+        pool: Optional[PacketPool] = None,
     ):
         self.flow_id = flow_id
         self.scheduler = scheduler
@@ -128,6 +129,10 @@ class Sender:
         self.mss_bytes = mss_bytes
         self.rng = rng if rng is not None else random.Random(flow_id)
         self.trace_sequence = trace_sequence
+        #: Optional per-simulator packet freelist.  When set, data packets
+        #: are drawn from it and acknowledgments are released back at the
+        #: end of :meth:`on_ack` (the ACK's delivery sink).
+        self.pool = pool
         # Skip the per-packet on_packet_sent call for modules that keep the
         # base class's no-op (everything except XCP).
         from repro.protocols.base import CongestionControl
@@ -166,6 +171,12 @@ class Sender:
         self.on_start_time = 0.0
         self._on_until_event: Optional[list] = None
         self._rto_event: Optional[list] = None
+        #: Authoritative RTO deadline.  Each ACK moves this float instead of
+        #: cancelling and re-pushing the heap entry (two O(log n) operations
+        #: per acknowledgment); the armed entry fires at its original time,
+        #: notices the deadline moved, and re-posts itself (a rare,
+        #: uncounted bookkeeping check — RTO is hundreds of ACK intervals).
+        self._rto_deadline = 0.0
         self._pacing_event: Optional[list] = None
         self._switch_event: Optional[list] = None
 
@@ -268,7 +279,10 @@ class Sender:
                 if remaining is not None and remaining <= 0:
                     return
                 # Admission window: never below one packet to avoid deadlock.
-                window = cc.window
+                # (cc.cwnd read directly: the ``window`` property is defined
+                # as exactly cwnd, and the descriptor call is measurable in
+                # this loop.)
+                window = cc.cwnd
                 if len(in_flight) >= (window if window > 1.0 else 1.0):
                     return
             intersend = cc.intersend_time
@@ -302,7 +316,11 @@ class Sender:
                 self.segments_remaining -= 1
             retransmit = False
 
-        packet = Packet(self.flow_id, seq, size_bytes=self.mss_bytes, sent_time=now)
+        pool = self.pool
+        if pool is not None:
+            packet = pool.data(self.flow_id, seq, self.mss_bytes, now)
+        else:
+            packet = Packet(self.flow_id, seq, size_bytes=self.mss_bytes, sent_time=now)
         packet.retransmit = retransmit
         packet.ecn_capable = self.cc.uses_ecn
         info = self.in_flight.get(seq)
@@ -322,7 +340,11 @@ class Sender:
             self.cc.on_packet_sent(packet, now)
         self.last_send_time = now
         self.transmit(packet)
-        self._arm_rto()
+        # _arm_rto(), armed check inlined: on all but the first send of a
+        # window the timer is already running.
+        entry = self._rto_event
+        if entry is None or entry[2] is None:
+            self._arm_rto()
 
     # ------------------------------------------------------------------ receiving
     def on_ack(self, ack: Packet) -> None:
@@ -330,7 +352,8 @@ class Sender:
         if not ack.is_ack:
             raise ValueError("sender got a data packet")
         if self.state != "on":
-            return  # stale ACK from an abandoned flow
+            ack.release()  # stale ACK from an abandoned flow
+            return
         now = self.scheduler.now
 
         ack_seq = ack.ack_seq
@@ -361,7 +384,19 @@ class Sender:
         if not ack.retransmit:
             rtt = now - ack.echo_sent_time
             if rtt > 0:
-                self._update_rtt(rtt)
+                # _update_rtt, inlined on the per-ACK path (RFC 6298).
+                if self.min_rtt is None or rtt < self.min_rtt:
+                    self.min_rtt = rtt
+                srtt = self.srtt
+                if srtt is None:
+                    self.srtt = rtt
+                    self.rttvar = rtt / 2
+                    rto = rtt + 4 * (rtt / 2)
+                else:
+                    self.rttvar = rttvar = 0.75 * self.rttvar + 0.25 * abs(srtt - rtt)
+                    self.srtt = srtt = 0.875 * srtt + 0.125 * rtt
+                    rto = srtt + 4 * rttvar
+                self.rto = MAX_RTO if rto > MAX_RTO else (MIN_RTO if rto < MIN_RTO else rto)
                 stats = self.stats  # record_rtt, inlined on the per-ACK path
                 stats.rtt_sum += rtt
                 stats.rtt_count += 1
@@ -374,25 +409,38 @@ class Sender:
         is_duplicate = ack_seq <= self.highest_cum_ack
         self._update_recovery_state(ack, now, is_duplicate)
 
+        # AckInfo built through tuple.__new__: the namedtuple constructor
+        # costs a Python frame per acknowledgment; all twelve fields are
+        # supplied positionally either way.
         self.cc.on_ack(
-            AckInfo(
-                now,
-                ack.sacked_seq,
-                ack_seq,
-                newly_acked_bytes,
-                rtt,
-                self.min_rtt,
-                ack.echo_sent_time,
-                ack.receiver_time,
-                ack.ecn_echo,
-                len(in_flight),
-                ack.xcp_feedback,
-                is_duplicate,
+            tuple.__new__(
+                AckInfo,
+                (
+                    now,
+                    ack.sacked_seq,
+                    ack_seq,
+                    newly_acked_bytes,
+                    rtt,
+                    self.min_rtt,
+                    ack.echo_sent_time,
+                    ack.receiver_time,
+                    ack.ecn_echo,
+                    len(in_flight),
+                    ack.xcp_feedback,
+                    is_duplicate,
+                ),
             )
         )
 
         if self.trace_sequence:
             self.stats.sequence_trace.append((now, ack_seq))
+
+        # This handler is the ACK's delivery sink: every field has been
+        # digested into AckInfo/our own state, so the instance is dead.
+        # (Packet.release, inlined on the per-ACK path.)
+        pool = ack._pool
+        if pool is not None:
+            pool.release(ack)
 
         # _flow_complete(), inlined on the per-ACK path (None == 0 is False,
         # so always-on flows never trip it).
@@ -401,7 +449,12 @@ class Sender:
             return
 
         if in_flight:
-            self._arm_rto(restart=True)
+            # _arm_rto(restart=True), suppression fast path inlined: move
+            # the deadline and keep the armed entry when it fires no later.
+            self._rto_deadline = deadline = now + self.rto
+            entry = self._rto_event
+            if entry is None or entry[2] is None or entry[0] > deadline:
+                self._arm_rto(restart=True)
         else:
             self._cancel(self._rto_event)
             self._rto_event = None
@@ -437,40 +490,45 @@ class Sender:
         self.stats.record_loss()
         self.cc.on_loss(now)
 
-    def _flow_complete(self) -> bool:
-        return (
-            self.segments_remaining is not None
-            and self.segments_remaining == 0
-            and not self.in_flight
-            and not self.retransmit_queue
-        )
-
     # ------------------------------------------------------------------ RTT / RTO
-    def _update_rtt(self, rtt: float) -> None:
-        if self.min_rtt is None or rtt < self.min_rtt:
-            self.min_rtt = rtt
-        if self.srtt is None:
-            self.srtt = rtt
-            self.rttvar = rtt / 2
-        else:
-            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
-            self.srtt = 0.875 * self.srtt + 0.125 * rtt
-        self.rto = min(MAX_RTO, max(MIN_RTO, self.srtt + 4 * self.rttvar))
+    # (RTT estimation — RFC 6298 — and flow-completion detection both live
+    # inlined in on_ack: they run once per acknowledgment.)
 
     def _arm_rto(self, restart: bool = False) -> None:
         entry = self._rto_event
         if restart:
-            if entry is not None:
+            # Suppression rearm: move the deadline forward and keep the armed
+            # entry as long as it fires no later than the deadline (the fire
+            # re-checks and re-posts).  If the deadline moved *earlier* than
+            # the armed entry — the retransmission timeout shrank, e.g. while
+            # the RTT estimator converges from the initial 1 s RTO — fall
+            # back to cancel-and-repush so the timeout cannot fire late.
+            deadline = self.scheduler.now + self.rto
+            self._rto_deadline = deadline
+            if entry is not None and entry[2] is not None:  # still armed
+                if entry[0] <= deadline:
+                    return
                 self.scheduler.cancel_entry(entry)
         elif entry is not None and entry[2] is not None:  # still armed
             return
+        else:
+            self._rto_deadline = self.scheduler.now + self.rto
         self._rto_event = self.scheduler.post_entry_after(self.rto, self._rto_fire)
 
     def _rto_fire(self) -> None:
+        scheduler = self.scheduler
+        now = scheduler.now
+        if now < self._rto_deadline:
+            # The deadline was pushed out by acknowledgments while this entry
+            # sat in the heap: re-post at the authoritative deadline (which
+            # is exactly where the cancel-and-repush scheme would have fired).
+            # Pure timer bookkeeping, not a simulation event.
+            scheduler.uncount_event()
+            self._rto_event = scheduler.post_entry(self._rto_deadline, self._rto_fire)
+            return
         self._rto_event = None
         if self.state != "on" or not self.in_flight:
             return
-        now = self.scheduler.now
         # The frontier's first live entry is the oldest in-flight segment
         # (every in-flight seq is on the frontier; stale tops are discarded).
         frontier = self._flight_frontier

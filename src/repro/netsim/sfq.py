@@ -68,12 +68,13 @@ class SfqCoDelQueue(QueueDiscipline):
     def enqueue(self, packet: Packet, now: float) -> bool:
         if self._total_packets >= self.capacity_packets:
             self.drops += 1
+            packet.release()  # drop sink: shared-buffer overflow
             return False
         bucket = self._bucket(packet.flow_id)
         queue = self._queues[bucket]
         was_empty = len(queue) == 0
         if not queue.enqueue(packet, now):
-            self.drops += 1
+            self.drops += 1  # sub-queue already released the packet
             return False
         self._total_packets += 1
         self._total_bytes += packet.size_bytes

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.netsim.events import EventScheduler
 from repro.netsim.network import DumbbellNetwork, NetworkSpec
+from repro.netsim.packet import PacketPool
 from repro.netsim.receiver import Receiver
 from repro.netsim.sender import Sender, Workload
 from repro.netsim.stats import FlowStats
@@ -106,6 +107,8 @@ class Simulation:
         seed: int = 0,
         trace_flows: Sequence[int] = (),
         max_events: Optional[int] = None,
+        use_packet_pool: bool = True,
+        debug_packet_pool: bool = False,
     ):
         if len(protocols) != spec.n_flows:
             raise ValueError(
@@ -126,6 +129,14 @@ class Simulation:
         self.max_events = max_events
 
         self.scheduler = EventScheduler()
+        #: Per-simulation packet freelist (see :class:`PacketPool`).  Pooling
+        #: is a pure allocation optimisation — results are bit-identical with
+        #: it off (``use_packet_pool=False``), which the packet-pool tests
+        #: exploit; ``debug_packet_pool=True`` arms double-free and leak
+        #: detection at some bookkeeping cost.
+        self.packet_pool: Optional[PacketPool] = (
+            PacketPool(debug=debug_packet_pool) if use_packet_pool else None
+        )
         self.master_rng = random.Random(seed)
         self.network = DumbbellNetwork(
             self.scheduler, spec, rng=random.Random(self.master_rng.getrandbits(32))
@@ -147,6 +158,7 @@ class Simulation:
                 mss_bytes=self.spec.mss_bytes,
                 rng=flow_rng,
                 trace_sequence=flow_id in self.trace_flows,
+                pool=self.packet_pool,
             )
             receiver = Receiver(flow_id, self.scheduler, stats=stats)
             self.network.attach_flow(flow_id, sender, receiver)

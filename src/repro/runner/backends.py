@@ -21,16 +21,25 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.runner.jobs import SimJob, SimJobResult, run_sim_job
 
 
-def _execute_isolated_job(job: SimJob) -> SimJobResult:
-    """Worker entry point (module-level so it pickles by reference)."""
-    return run_sim_job(job, collect_stats=job.training and job.tree is not None)
+def _execute_job_chunk(jobs: Sequence[SimJob]) -> list[SimJobResult]:
+    """Worker entry point for one chunk: many jobs, one IPC round trip.
+
+    Module-level so it pickles by reference.  The chunk is pickled as a
+    single object, so jobs sharing a rule table serialize that table once
+    per chunk instead of once per job, and the results travel back as one
+    message.
+    """
+    return [
+        run_sim_job(job, collect_stats=job.training and job.tree is not None)
+        for job in jobs
+    ]
 
 
 def available_workers() -> int:
@@ -76,7 +85,7 @@ class SerialBackend(ExecutionBackend):
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """Fan jobs out over a pool of worker processes.
+    """Fan jobs out over a pool of worker processes, a chunk at a time.
 
     Jobs must be picklable: rule-table jobs always are; ``protocol_factory``
     jobs require a module-level factory (a protocol class qualifies — a
@@ -86,6 +95,17 @@ class ProcessPoolBackend(ExecutionBackend):
     are pure, and so stale sample reservoirs never cross the process
     boundary.
 
+    Submission is *chunked*: the batch is cut into runs of ``chunk_jobs``
+    consecutive jobs and each chunk is one worker task — one pickle of the
+    jobs (shared rule tables serialize once per chunk), one simulation loop
+    in the worker, one result message back.  That amortizes IPC for the
+    sub-100 ms jobs the flattened simulator produces, where per-job dispatch
+    overhead would otherwise eat the parallel speedup.  Results stream back
+    per chunk as workers finish and are reassembled into submission order.
+    ``chunk_jobs=None`` (the default) targets four chunks per worker for
+    load balance; pass an explicit value to trade balance against IPC
+    (bigger chunks = fewer, larger messages).
+
     The pool is created lazily on first use and reused across batches;
     call :meth:`close` (or use the backend as a context manager) to reap the
     workers.
@@ -93,16 +113,26 @@ class ProcessPoolBackend(ExecutionBackend):
 
     shares_memory = False
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(self, max_workers: Optional[int] = None, chunk_jobs: Optional[int] = None):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if chunk_jobs is not None and chunk_jobs <= 0:
+            raise ValueError("chunk_jobs must be positive")
         self.max_workers = max_workers if max_workers is not None else available_workers()
+        self.chunk_jobs = chunk_jobs
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._executor
+
+    def _chunk_size(self, n_jobs: int) -> int:
+        if self.chunk_jobs is not None:
+            return self.chunk_jobs
+        # Four chunks per worker keeps the pool balanced when job durations
+        # vary while still amortizing IPC over several jobs per task.
+        return max(1, -(-n_jobs // (self.max_workers * 4)))
 
     def _prepare(self, jobs: Sequence[SimJob]) -> list[SimJob]:
         # Imported here rather than at module scope: repro.core's package
@@ -127,9 +157,22 @@ class ProcessPoolBackend(ExecutionBackend):
         if not jobs:
             return []
         executor = self._ensure_executor()
-        # Chunk so each worker gets a few jobs per IPC round trip.
-        chunksize = max(1, len(jobs) // (self.max_workers * 4))
-        return list(executor.map(_execute_isolated_job, jobs, chunksize=chunksize))
+        chunk = self._chunk_size(len(jobs))
+        futures = {
+            executor.submit(_execute_job_chunk, jobs[start : start + chunk]): start
+            for start in range(0, len(jobs), chunk)
+        }
+        # Stream results back chunk by chunk as workers finish, reassembling
+        # submission order (run_batch's ordering contract) by chunk offset.
+        results: list[Optional[SimJobResult]] = [None] * len(jobs)
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                start = futures[future]
+                for offset, result in enumerate(future.result()):
+                    results[start + offset] = result
+        return results  # type: ignore[return-value]  # every slot filled above
 
     def close(self) -> None:
         if self._executor is not None:
@@ -145,7 +188,8 @@ def backend_from_spec(spec: str) -> ExecutionBackend:
 
     ``"serial"`` → :class:`SerialBackend`; ``"process"`` →
     :class:`ProcessPoolBackend` with one worker per available CPU;
-    ``"process:N"`` → a pool of exactly N workers.
+    ``"process:N"`` → a pool of exactly N workers; ``"process:N:C"`` →
+    additionally submit C jobs per worker task (chunk size).
     """
     name, _, arg = spec.partition(":")
     if name == "serial":
@@ -153,5 +197,11 @@ def backend_from_spec(spec: str) -> ExecutionBackend:
             raise ValueError("serial backend takes no argument")
         return SerialBackend()
     if name == "process":
-        return ProcessPoolBackend(max_workers=int(arg) if arg else None)
-    raise ValueError(f"unknown backend spec {spec!r}; expected 'serial' or 'process[:N]'")
+        workers, _, chunk = arg.partition(":")
+        return ProcessPoolBackend(
+            max_workers=int(workers) if workers else None,
+            chunk_jobs=int(chunk) if chunk else None,
+        )
+    raise ValueError(
+        f"unknown backend spec {spec!r}; expected 'serial' or 'process[:N[:C]]'"
+    )

@@ -167,9 +167,9 @@ def run_sim_job(job: SimJob, collect_stats: bool = False) -> SimJobResult:
     because training runs already mutate the caller's tree directly.
 
     A collected snapshot must be a pure per-job delta, but the tree object
-    may be shared with other jobs in the same worker (``executor.map``
-    unpickles a whole chunk at once, and jobs of one chunk then reference
-    one tree copy), so the statistics are zeroed before the run rather than
+    may be shared with other jobs in the same worker (a chunk of jobs is
+    unpickled as one message, so jobs of one chunk reference one tree
+    copy), so the statistics are zeroed before the run rather than
     trusting the tree to arrive clean.
     """
     if collect_stats and job.tree is not None and job.training:

@@ -204,3 +204,76 @@ def test_tiebreak_is_fifo_across_many_same_time_events(scheduler):
         scheduler.schedule(1.0, order.append, i)
     scheduler.run()
     assert order == list(range(50))
+
+
+# ---------------------------------------------------------------------------
+# Same-time FIFO lane (run-to-completion dispatch): zero-delay posts bypass
+# the heap but must keep the global (time, sequence) execution order.
+# ---------------------------------------------------------------------------
+def test_zero_delay_posts_run_after_events_already_due(scheduler):
+    order = []
+
+    def first():
+        order.append("first")
+        scheduler.post_after(0, order.append, "successor")
+        scheduler.post_now(order.append, "successor2")
+
+    scheduler.schedule(1.0, first)
+    scheduler.schedule(1.0, order.append, "second")  # already due at t=1.0
+    scheduler.run_until(2.0)
+    # Successor work posted at t=1.0 runs after everything already queued
+    # for t=1.0, in FIFO order — exactly as if it had been heap-pushed.
+    assert order == ["first", "second", "successor", "successor2"]
+
+
+def test_post_now_interleaves_with_heap_by_sequence(scheduler):
+    order = []
+
+    def fire():
+        scheduler.post_now(order.append, "lane1")  # seq n
+        scheduler.post(scheduler.now, order.append, "lane2")  # seq n+1, lane too
+        scheduler.schedule(scheduler.now, order.append, "heap")  # seq n+2, heap
+        scheduler.post_now(order.append, "lane3")  # seq n+3
+
+    scheduler.schedule(1.0, fire)
+    scheduler.run_until(2.0)
+    assert order == ["lane1", "lane2", "heap", "lane3"]
+
+
+def test_lane_entries_count_as_pending_and_processed(scheduler):
+    scheduler.post_now(lambda: None)
+    scheduler.post_after(0, lambda: None)
+    assert scheduler.pending == 2
+    assert scheduler.peek_time() == 0.0
+    executed = scheduler.run_until(1.0)
+    assert executed == 2
+    assert scheduler.pending == 0
+    assert scheduler.events_processed == 2
+
+
+def test_step_drains_the_lane_in_order(scheduler):
+    order = []
+    scheduler.post_now(order.append, "a")
+    scheduler.schedule(0.0, order.append, "b")
+    scheduler.post_now(order.append, "c")
+    while scheduler.step():
+        pass
+    assert order == ["a", "b", "c"]
+
+
+def test_lane_survives_max_events_abort(scheduler):
+    order = []
+
+    def fire():
+        for label in ("x", "y"):
+            scheduler.post_now(order.append, label)
+
+    scheduler.schedule(1.0, fire)
+    with pytest.raises(SimulationError):
+        scheduler.run_until(2.0, max_events=1)
+    # The aborted run executed only `fire`; the lane still holds x and y
+    # and a later run picks them up in order.
+    assert order == []
+    assert scheduler.pending == 2
+    scheduler.run_until(2.0)
+    assert order == ["x", "y"]

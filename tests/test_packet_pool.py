@@ -1,0 +1,259 @@
+"""Packet-pool reuse: recycled instances must be indistinguishable from fresh.
+
+The freelist (PR 3) recycles data packets and converts pooled data packets
+into their acknowledgments in place.  These tests pin the properties the
+pooling relies on:
+
+* an allocation served from the freelist carries no stale fields — not the
+  previous flow's id or tick, not ack flags from its life as an ACK, not
+  ECN/XCP router stamps — across flows and across AQM drop paths;
+* the in-place ACK conversion echoes exactly what a fresh ACK would;
+* pooling is behaviour-invariant: a pooled simulation is bit-identical to
+  the same simulation with pooling disabled, on every queue discipline
+  (including the ones that drop from inside ``dequeue``);
+* the debug pool catches double releases and leaks.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.network import NetworkSpec
+from repro.netsim.packet import ACK_PACKET_BYTES, Packet, PacketPool
+from repro.netsim.sender import FlowDemand, Workload
+from repro.netsim.simulator import Simulation
+from repro.protocols.newreno import NewReno
+from repro.traffic.onoff import ByteFlowWorkload
+
+#: Every Packet slot that must be clean after a pooled data() allocation,
+#: with the value a freshly constructed data packet would have.
+_RESET_FIELDS = (
+    "is_ack",
+    "ack_seq",
+    "sacked_seq",
+    "echo_sent_time",
+    "ecn_capable",
+    "ecn_marked",
+    "ecn_echo",
+    "retransmit",
+    "enqueue_time",
+    "xcp_cwnd",
+    "xcp_rtt",
+    "xcp_demand",
+    "xcp_feedback",
+    "receiver_time",
+)
+
+
+def _assert_matches_fresh(packet: Packet, flow_id: int, seq: int, size: int, tick: float):
+    reference = Packet(flow_id, seq, size_bytes=size, sent_time=tick)
+    assert packet.flow_id == flow_id
+    assert packet.seq == seq
+    assert packet.size_bytes == size
+    assert packet.sent_time == tick
+    assert packet.first_sent_time == tick
+    for field in _RESET_FIELDS:
+        assert getattr(packet, field) == getattr(reference, field), field
+
+
+# A smear of "previous life" values: everything a packet could accumulate on
+# its way through senders, routers and receivers.
+def _smear(packet: Packet) -> None:
+    packet.is_ack = True
+    packet.ack_seq = 991
+    packet.sacked_seq = 992
+    packet.echo_sent_time = 99.5
+    packet.ecn_capable = True
+    packet.ecn_marked = True
+    packet.ecn_echo = True
+    packet.retransmit = True
+    packet.enqueue_time = 77.7
+    packet.xcp_cwnd = 13.0
+    packet.xcp_rtt = 0.4
+    packet.xcp_demand = 5.0
+    packet.xcp_feedback = -2.5
+    packet.receiver_time = 66.6
+
+
+alloc_params = st.tuples(
+    st.integers(min_value=0, max_value=31),  # flow id
+    st.integers(min_value=0, max_value=10_000),  # seq
+    st.sampled_from([40, 576, 1500, 9000]),  # size
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),  # tick
+)
+
+
+class TestRecycledPacketsAreClean:
+    @given(allocations=st.lists(alloc_params, min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_no_stale_fields_across_recycles(self, allocations):
+        pool = PacketPool()
+        live: list[Packet] = []
+        for index, (flow_id, seq, size, tick) in enumerate(allocations):
+            packet = pool.data(flow_id, seq, size, tick)
+            _assert_matches_fresh(packet, flow_id, seq, size, tick)
+            _smear(packet)
+            live.append(packet)
+            # Periodically release in bulk so later allocations recycle
+            # instances smeared by *different* flows.
+            if index % 3 == 2:
+                for dead in live:
+                    dead.release()
+                live.clear()
+        assert pool.recycled + pool.allocated == len(allocations)
+
+    @given(params=alloc_params, ack_seq=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_recycle_after_ack_conversion_is_clean(self, params, ack_seq):
+        flow_id, seq, size, tick = params
+        pool = PacketPool()
+        packet = pool.data(flow_id, seq, size, tick)
+        packet.ecn_marked = True
+        packet.xcp_feedback = 3.5
+        ack = packet.make_ack(ack_seq=ack_seq, receiver_time=tick + 0.1)
+        assert ack is packet  # pooled conversion happens in place
+        ack.release()
+        fresh = pool.data(flow_id + 1, seq + 1, size, tick + 1.0)
+        assert fresh is packet  # freelist handed the same instance back
+        _assert_matches_fresh(fresh, flow_id + 1, seq + 1, size, tick + 1.0)
+
+
+class TestPooledAckConversion:
+    def test_in_place_ack_echoes_what_a_fresh_ack_would(self):
+        pool = PacketPool()
+        pooled = pool.data(1, 10, 1500, 2.0)
+        plain = Packet(1, 10, size_bytes=1500, sent_time=2.0)
+        for packet in (pooled, plain):
+            packet.ecn_marked = True
+            packet.retransmit = True
+            packet.xcp_cwnd = 7.0
+            packet.xcp_rtt = 0.2
+            packet.xcp_demand = 1.5
+            packet.xcp_feedback = 3.5
+        pooled_ack = pooled.make_ack(ack_seq=11, receiver_time=2.4)
+        plain_ack = plain.make_ack(ack_seq=11, receiver_time=2.4)
+        assert pooled_ack is pooled
+        assert plain_ack is not plain
+        for field in Packet.__slots__:
+            if field == "_pool":
+                continue
+            assert getattr(pooled_ack, field) == getattr(plain_ack, field), field
+        assert pooled_ack.size_bytes == ACK_PACKET_BYTES
+
+
+class _OneShotWorkload(Workload):
+    """Switch on immediately, transfer a fixed number of bytes, never return."""
+
+    def __init__(self, size_bytes: int):
+        self.size_bytes = size_bytes
+
+    def next_off_duration(self, rng):
+        return math.inf
+
+    def next_flow(self, rng):
+        return FlowDemand(size_bytes=self.size_bytes)
+
+
+def _fingerprint(result):
+    return [
+        (
+            s.flow_id,
+            s.bytes_received,
+            s.packets_received,
+            s.packets_sent,
+            s.retransmissions,
+            s.losses_detected,
+            s.timeouts,
+            s.queue_delay_sum,
+            s.queue_delay_count,
+            s.rtt_sum,
+            s.rtt_count,
+        )
+        for s in result.flow_stats
+    ]
+
+
+class TestPoolingIsBehaviourInvariant:
+    @pytest.mark.parametrize("queue", ["droptail", "codel", "sfqcodel", "red"])
+    def test_pooled_matches_unpooled_across_aqm_drop_paths(self, queue):
+        # A deliberately tiny buffer so every drop sink (tail overflow, RED
+        # early drop, CoDel in-dequeue head drop) actually fires.
+        spec = NetworkSpec(
+            link_rate_bps=6e6, rtt=0.05, n_flows=3, queue=queue, buffer_packets=25
+        )
+        results = {}
+        for pooled in (True, False):
+            sim = Simulation(
+                spec,
+                [NewReno() for _ in range(3)],
+                [
+                    ByteFlowWorkload.exponential(
+                        mean_flow_bytes=80e3, mean_off_seconds=0.2
+                    )
+                    for _ in range(3)
+                ],
+                duration=4.0,
+                seed=13,
+                use_packet_pool=pooled,
+                debug_packet_pool=pooled,
+            )
+            result = sim.run()
+            results[pooled] = (
+                result.events_processed,
+                result.queue_drops,
+                result.queue_marks,
+                _fingerprint(result),
+            )
+            if pooled:
+                assert sim.packet_pool is not None
+                assert sim.packet_pool.recycled > 0  # the freelist actually cycled
+        assert results[True] == results[False]
+
+
+class TestDebugPool:
+    def test_double_release_raises(self):
+        pool = PacketPool(debug=True)
+        packet = pool.data(0, 0, 1500, 0.0)
+        packet.release()
+        with pytest.raises(RuntimeError, match="double release"):
+            packet.release()
+
+    def test_foreign_packet_release_raises(self):
+        pool = PacketPool(debug=True)
+        with pytest.raises(RuntimeError):
+            pool.release(Packet(0, 0))
+
+    def test_drained_simulation_leaks_nothing(self):
+        # Every flow transfers a bounded amount through a lossy bottleneck
+        # and then stays off; once the network drains, every pooled packet
+        # must be back in the freelist — a leak means some sink forgot to
+        # release (or released twice, which the debug pool catches itself).
+        spec = NetworkSpec(
+            link_rate_bps=8e6, rtt=0.04, n_flows=3, queue="droptail", buffer_packets=12
+        )
+        sim = Simulation(
+            spec,
+            [NewReno() for _ in range(3)],
+            [_OneShotWorkload(size_bytes=120_000) for _ in range(3)],
+            duration=30.0,
+            seed=5,
+            debug_packet_pool=True,
+        )
+        result = sim.run()
+        pool = sim.packet_pool
+        assert pool is not None
+        assert sum(s.bytes_received for s in result.flow_stats) >= 3 * 120_000
+        assert result.queue_drops > 0  # the drop sinks were exercised
+        pool.check_leaks(expected_in_use=0)
+
+    def test_check_leaks_reports_outstanding_packets(self):
+        pool = PacketPool(debug=True)
+        pool.data(0, 0, 1500, 0.0)
+        with pytest.raises(RuntimeError, match="leak"):
+            pool.check_leaks(expected_in_use=0)
+        pool.check_leaks(expected_in_use=1)
+
+    def test_check_leaks_requires_debug_mode(self):
+        with pytest.raises(RuntimeError, match="debug"):
+            PacketPool().check_leaks()

@@ -189,13 +189,15 @@ class TestOctantLookup:
         tree.replace_action(tree.whiskers()[0], Action(1.1, 2.0, 1.0))
         assert tree.version > after_split
 
-    def test_grid_trees_use_the_scan_fallback(self):
+    def test_grid_trees_use_bisection_not_the_scan(self):
         # The synthesized pretrained tables attach a flat (non-octant) grid of
-        # cells under the root; lookups must still resolve every point.
+        # cells under the root; lookups resolve them by bisecting the
+        # (ack_ewma, rtt_ratio) bin edges.
         from repro.core.pretrained import pretrained_remycc
 
         tree = pretrained_remycc("delta1")
         assert tree._root.split_point is None
+        assert tree._root.grid_index is not None
         for point in (
             Memory(0, 0, 0),
             Memory(1.0, 1.0, 1.2),
@@ -218,3 +220,91 @@ class TestOctantLookup:
             assert reloaded.find(point).domain.as_tuple() == tree.find(
                 point
             ).domain.as_tuple()
+
+
+class TestGridBisection:
+    """Bisection over pretrained grid roots must match the containment scan."""
+
+    def _reference_scan(self, tree, point):
+        clamped = point.clamped()
+        for whisker in tree.whiskers():
+            if whisker.domain.contains(clamped):
+                return whisker
+        raise AssertionError(f"no whisker contains {point}")
+
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=-5.0, max_value=MAX_MEMORY * 1.01, allow_nan=False),
+                st.floats(min_value=-5.0, max_value=MAX_MEMORY * 1.01, allow_nan=False),
+                st.floats(min_value=-5.0, max_value=MAX_MEMORY * 1.01, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bisection_matches_linear_scan(self, points):
+        from repro.core.pretrained import pretrained_remycc
+
+        tree = pretrained_remycc("delta10")
+        assert tree._root.grid_index is not None
+        for point in points:
+            memory = Memory(*point)
+            assert tree.find(memory) is self._reference_scan(tree, memory)
+
+    def test_bisection_agrees_on_every_bin_edge(self):
+        # Bin edges are the boundary-semantics trap (lower inclusive, upper
+        # exclusive except at MAX_MEMORY): probe each edge exactly, and a
+        # nudge either side.
+        from repro.core.pretrained import pretrained_remycc
+
+        tree = pretrained_remycc("delta1")
+        ack_edges, ratio_edges, _ = tree._root.grid_index
+        probes = {(0.0, 0.0), (MAX_MEMORY, MAX_MEMORY)}
+        for edge in ack_edges:
+            probes.update(
+                {(edge, 1.0), (edge * (1 + 1e-9), 1.0), (edge * (1 - 1e-9), 1.0)}
+            )
+        for edge in ratio_edges:
+            probes.update(
+                {(1.0, edge), (1.0, edge * (1 + 1e-9)), (1.0, edge * (1 - 1e-9))}
+            )
+        for ack, ratio in probes:
+            memory = Memory(ack, 3.0, ratio)
+            assert tree.find(memory) is self._reference_scan(tree, memory)
+
+    def test_octant_splits_inside_a_grid_keep_both_descents(self):
+        # Splitting a grid cell turns that leaf into an octant node; the grid
+        # bisection at the root and the octant descent below must compose.
+        from repro.core.pretrained import pretrained_remycc
+
+        tree = pretrained_remycc("delta1")
+        point = Memory(1.0, 1.0, 1.2)
+        whisker = tree.find(point)
+        whisker.use(point)
+        tree.split_whisker(whisker)
+        assert tree._root.grid_index is not None  # root layout unchanged
+        assert tree.find(point) is self._reference_scan(tree, point)
+
+    def test_serialization_round_trip_preserves_grid_index(self):
+        from repro.core.pretrained import pretrained_remycc
+        from repro.core.serialization import whisker_tree_from_dict, whisker_tree_to_dict
+
+        tree = pretrained_remycc("delta0.1")
+        reloaded = whisker_tree_from_dict(whisker_tree_to_dict(tree))
+        assert reloaded._root.grid_index == tree._root.grid_index
+        for point in (Memory(0, 0, 0), Memory(2.0, 1.0, 1.3), Memory(600, 5, 8)):
+            assert (
+                reloaded.find(point).domain.as_tuple()
+                == tree.find(point).domain.as_tuple()
+            )
+
+    def test_octant_children_are_not_misdetected_as_a_grid(self):
+        tree = WhiskerTree()
+        [whisker] = tree.whiskers()
+        whisker.use(Memory(7.0, 9.0, 1.5))
+        tree.split_whisker(whisker)
+        root = tree._root
+        assert root.split_point is not None
+        assert root.grid_index is None
