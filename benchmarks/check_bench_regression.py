@@ -1,18 +1,28 @@
-"""Fail when the simulator's events/sec regressed against a baseline.
+"""Fail when a tracked benchmark regressed against its committed baseline.
 
-Usage (what the CI bench job runs)::
+Two gates, one tool (the CI bench job runs both)::
 
     python benchmarks/check_bench_regression.py \
         --baseline /tmp/bench_baseline.json \
         --current BENCH_simulator.json \
-        --threshold 0.30
+        --threshold 0.30 \
+        --parallel-baseline /tmp/parallel_baseline.json \
+        --parallel-current BENCH_parallel_eval.json \
+        --parallel-threshold 0.25
 
-Both files are ``BENCH_simulator.json`` trajectories (see
-``benchmarks/test_bench_simulator_speed.py``); the newest entry of each is
-compared.  Rates are compared in *normalized* form (events/sec divided by
-the entry's pure-Python calibration rate) so a slower or faster CI runner
-does not masquerade as a simulator change.  Cases with too few events are
-skipped as noise (e.g. NewReno over classic RED).
+* **events/sec** — ``BENCH_simulator.json`` trajectories (see
+  ``benchmarks/test_bench_simulator_speed.py``); the newest entry of each is
+  compared.  Rates are compared in *normalized* form (events/sec divided by
+  the entry's pure-Python calibration rate) so a slower or faster CI runner
+  does not masquerade as a simulator change.  Cases with too few events are
+  skipped as noise (e.g. NewReno over classic RED).
+
+* **pool speedup** — ``BENCH_parallel_eval.json`` trajectories (see
+  ``benchmarks/test_bench_parallel_eval.py``); the 4-worker pool's
+  serial/pool speedup is already a same-machine ratio, so no calibration is
+  needed.  The gate is skipped when either entry ran on fewer CPUs than the
+  benchmark's worker count (nothing to parallelize onto) and when the
+  baseline has no speedup entry yet.
 """
 
 from __future__ import annotations
@@ -55,6 +65,82 @@ def rate_of(entry: dict, case: str) -> float:
     return measurement["events_per_sec"]
 
 
+def _capable(entry: dict) -> bool:
+    """Whether an entry's speedup is meaningful: recorded with at least as
+    many CPUs as pool workers (a 1-CPU container cannot show a speedup)."""
+    if entry.get("speedup") is None:
+        return False
+    cpus = entry.get("cpus_available")
+    return cpus is None or cpus >= entry.get("workers", 0)
+
+
+def latest_capable_entry(path: Path, prefer_label_prefix: str) -> dict | None:
+    """Newest *capable* trajectory entry (preferring the label prefix), so the
+    gate self-activates as soon as one capable baseline lands in the history
+    and stays active even if later entries come from starved containers."""
+    history = json.loads(path.read_text()).get("history", [])
+    capable = [entry for entry in history if _capable(entry)]
+    if not capable:
+        return None
+    if prefer_label_prefix:
+        for entry in reversed(capable):
+            if entry.get("label", "").startswith(prefer_label_prefix):
+                return entry
+    return capable[-1]
+
+
+def check_parallel_speedup(
+    baseline_path: Path,
+    current_path: Path,
+    threshold: float,
+    prefer_label_prefix: str,
+) -> bool:
+    """Gate the process-pool speedup trajectory; returns False on regression."""
+    baseline = latest_capable_entry(baseline_path, prefer_label_prefix)
+    current = latest_entry(current_path)
+    if baseline is None:
+        print(
+            "  skip  pool-speedup: no baseline entry was recorded with enough "
+            "CPUs for its worker count (gate activates once one is committed)"
+        )
+        return True
+    print(
+        f"parallel baseline entry: {baseline.get('label')!r} "
+        f"({baseline.get('timestamp')})"
+    )
+    print(
+        f"parallel current entry:  {current.get('label')!r} "
+        f"({current.get('timestamp')})"
+    )
+    base_speedup = baseline.get("speedup")
+    cur_speedup = current.get("speedup")
+    if cur_speedup is None:
+        print("  skip  pool-speedup: no speedup recorded in the current entry")
+        return True
+    workers = current.get("workers", 0)
+    cpus = current.get("cpus_available")
+    if cpus is not None and cpus < workers:
+        print(
+            f"  skip  pool-speedup: current ran on {cpus} CPUs for "
+            f"{workers} workers (nothing to parallelize onto)"
+        )
+        return True
+    change = cur_speedup / base_speedup - 1.0
+    status = "FAIL" if change < -threshold else "ok"
+    print(
+        f"  {status:>4}  pool-speedup: {change:+.1%} "
+        f"(baseline {base_speedup:.3f}x, current {cur_speedup:.3f}x, "
+        f"{workers} workers)"
+    )
+    if status == "FAIL":
+        print(
+            f"\npool speedup regressed by more than {threshold:.0%}",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, required=True)
@@ -72,7 +158,29 @@ def main() -> int:
         "prefix (default 'ci ': compare within the CI runner class when a "
         "CI-recorded entry has been committed)",
     )
+    parser.add_argument(
+        "--parallel-baseline",
+        type=Path,
+        default=None,
+        help="BENCH_parallel_eval.json baseline trajectory (enables the "
+        "pool-speedup gate)",
+    )
+    parser.add_argument(
+        "--parallel-current",
+        type=Path,
+        default=None,
+        help="BENCH_parallel_eval.json current trajectory",
+    )
+    parser.add_argument(
+        "--parallel-threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional pool-speedup regression "
+        "(default 0.25 = 25%%)",
+    )
     args = parser.parse_args()
+    if (args.parallel_baseline is None) != (args.parallel_current is None):
+        parser.error("--parallel-baseline and --parallel-current go together")
 
     baseline = latest_entry(args.baseline, args.prefer_baseline_label)
     current = latest_entry(args.current)
@@ -100,12 +208,24 @@ def main() -> int:
             f"(baseline {base_rate:.6g}, current {cur_rate:.6g}, normalized)"
         )
 
+    parallel_ok = True
+    if args.parallel_baseline is not None:
+        print()
+        parallel_ok = check_parallel_speedup(
+            args.parallel_baseline,
+            args.parallel_current,
+            args.parallel_threshold,
+            args.prefer_baseline_label,
+        )
+
     if failures:
         print(
             f"\nevents/sec regressed by more than {args.threshold:.0%} on: "
             + ", ".join(failures),
             file=sys.stderr,
         )
+        return 1
+    if not parallel_ok:
         return 1
     print(f"\nno case regressed by more than {args.threshold:.0%}")
     return 0

@@ -10,6 +10,11 @@ measures:
 * RemyCC senders over DropTail — the whisker-lookup hot path (octant
   descent + last-leaf cache), in both execution and training mode.
 
+The cases are the ``bench-*`` cells of the scenario registry
+(:mod:`repro.scenarios`), built at a 5-second measuring duration; the same
+cells run (at their shorter canonical duration) in the golden matrix suite,
+so a semantics change in a benchmarked configuration is caught there first.
+
 Each case's events/sec is appended as one trajectory entry to
 ``BENCH_simulator.json`` at the repository root (override the path with the
 ``BENCH_SIMULATOR_JSON`` environment variable, the entry label with
@@ -30,14 +35,23 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.pretrained import pretrained_remycc
-from repro.netsim.network import NetworkSpec
-from repro.netsim.sender import AlwaysOnWorkload
-from repro.netsim.simulator import Simulation
-from repro.protocols.newreno import NewReno
-from repro.protocols.remycc import RemyCCProtocol
+from repro.scenarios import get_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Measuring duration (simulated seconds) for every case.
+BENCH_DURATION = 5.0
+
+#: case label -> registered scenario cell.
+CASE_SCENARIOS = {
+    "newreno/droptail": "bench-newreno-droptail",
+    "newreno/codel": "bench-newreno-codel",
+    "newreno/sfqcodel": "bench-newreno-sfqcodel",
+    "newreno/red": "bench-newreno-red",
+    "newreno/xcp": "bench-newreno-xcp",
+    "remy/droptail": "bench-remy-droptail",
+    "remy-training/droptail": "bench-remy-training",
+}
 
 #: Accumulates ``case -> measurement`` while the module's tests run; flushed
 #: to the trajectory file by the module-scoped fixture below.
@@ -58,23 +72,7 @@ def _calibration_rate(iterations: int = 2_000_000) -> float:
 
 def _run_case(case: str) -> tuple[int, float]:
     """Run one benchmark case; returns (events_processed, elapsed_seconds)."""
-    kind, _, queue = case.partition("/")
-    spec = NetworkSpec(
-        link_rate_bps=10e6, rtt=0.05, n_flows=4, queue=queue, buffer_packets=500
-    )
-    if kind == "newreno":
-        protocols = [NewReno() for _ in range(4)]
-    else:
-        tree = pretrained_remycc("delta1")
-        training = kind == "remy-training"
-        protocols = [RemyCCProtocol(tree, training=training) for _ in range(4)]
-    sim = Simulation(
-        spec,
-        protocols,
-        [AlwaysOnWorkload() for _ in range(4)],
-        duration=5.0,
-        seed=0,
-    )
+    sim = get_scenario(CASE_SCENARIOS[case]).build(duration=BENCH_DURATION)
     start = time.perf_counter()
     result = sim.run()
     elapsed = time.perf_counter() - start
@@ -167,15 +165,7 @@ def _write_trajectory():
     path.write_text(json.dumps({"schema": 1, "history": history}, indent=1) + "\n")
 
 
-CASES = [
-    "newreno/droptail",
-    "newreno/codel",
-    "newreno/sfqcodel",
-    "newreno/red",
-    "newreno/xcp",
-    "remy/droptail",
-    "remy-training/droptail",
-]
+CASES = list(CASE_SCENARIOS)
 
 
 @pytest.mark.parametrize("case", CASES)

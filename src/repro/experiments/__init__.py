@@ -24,6 +24,8 @@ from repro.experiments.base import (
     ExperimentResult,
     SchemeSpec,
     remycc_scheme,
+    resolve_scenario,
+    run_scenario_schemes,
     run_scheme,
     run_schemes,
     standard_schemes,
@@ -33,6 +35,8 @@ __all__ = [
     "ExperimentResult",
     "SchemeSpec",
     "remycc_scheme",
+    "resolve_scenario",
+    "run_scenario_schemes",
     "run_scheme",
     "run_schemes",
     "standard_schemes",

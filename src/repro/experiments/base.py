@@ -14,13 +14,20 @@ default :class:`~repro.runner.SerialBackend` reproduces the pre-backend
 results bit-identically.  (RemyCC schemes parallelize because the rule table
 itself ships to the workers; a scheme whose ``protocol_factory`` is a
 closure — rather than a picklable module-level callable such as a protocol
-class — can only run on the serial backend.)
+class — fails fast on the process-pool backend and can only run serially.)
+
+Scenarios come from the declarative registry (:mod:`repro.scenarios`): each
+figure harness resolves its base cell by name and applies its paper-scale
+knobs via :meth:`~repro.scenarios.spec.ScenarioSpec.override`, so the
+topology/queue/workload definitions live in exactly one place.
+:func:`run_scenario_schemes` is the shorthand for "run these schemes over
+that registered cell".
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.analysis.frontier import efficient_frontier
 from repro.analysis.summary import SchemeSummary, format_summary_table
@@ -36,6 +43,7 @@ from repro.protocols.remycc import RemyCCProtocol
 from repro.protocols.vegas import Vegas
 from repro.protocols.xcp import XCP
 from repro.runner import ExecutionBackend, SerialBackend, SimJob
+from repro.scenarios import ScenarioSpec, get_scenario
 
 ProtocolFactory = Callable[[], CongestionControl]
 WorkloadFactory = Callable[[int], Workload]
@@ -208,6 +216,43 @@ def run_schemes(
         summaries.append(summary)
         start = end
     return summaries
+
+
+def resolve_scenario(scenario: Union[str, ScenarioSpec]) -> ScenarioSpec:
+    """Accept either a registered cell name or an explicit spec."""
+    if isinstance(scenario, str):
+        return get_scenario(scenario)
+    return scenario
+
+
+def run_scenario_schemes(
+    scenario: Union[str, ScenarioSpec],
+    schemes: Sequence[SchemeSpec],
+    n_runs: int = 4,
+    duration: Optional[float] = None,
+    base_seed: Optional[int] = None,
+    max_events: Optional[int] = None,
+    backend: Optional[ExecutionBackend] = None,
+) -> list[SchemeSummary]:
+    """Run every scheme over a registered scenario cell as one backend batch.
+
+    The cell supplies the topology (with any trace materialized), the
+    per-flow workloads, and — when not overridden — its canonical duration
+    and seed.  Each scheme still swaps in its own protocols and, if it needs
+    router support, its own queue discipline (exactly like
+    :func:`run_schemes`, which this wraps).
+    """
+    cell = resolve_scenario(scenario)
+    return run_schemes(
+        schemes,
+        cell.network_spec(),
+        cell.workload_factory(),
+        n_runs=n_runs,
+        duration=cell.duration if duration is None else duration,
+        base_seed=cell.seed if base_seed is None else base_seed,
+        max_events=max_events,
+        backend=backend,
+    )
 
 
 @dataclass

@@ -12,6 +12,7 @@ time-varying one.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.experiments.base import (
@@ -22,8 +23,7 @@ from repro.experiments.base import (
 )
 from repro.netsim.network import NetworkSpec
 from repro.runner import ExecutionBackend
-from repro.traces.cellular import att_lte_trace, verizon_lte_trace
-from repro.traffic.onoff import ByteFlowWorkload
+from repro.scenarios import TraceSpec, get_scenario
 
 
 def cellular_spec(
@@ -32,20 +32,21 @@ def cellular_spec(
     rtt: float = 0.050,
     buffer_packets: int = 1000,
 ) -> NetworkSpec:
-    """Trace-driven bottleneck with the §5.3 parameters."""
-    return NetworkSpec(
-        link_rate_bps=15e6,  # nominal; ignored in favour of the trace
+    """Trace-driven bottleneck with the §5.3 parameters (registry-based)."""
+    return replace(
+        get_scenario("fig7-lte4").network,
         delivery_trace=list(delivery_trace),
         rtt=rtt,
         n_flows=n_flows,
-        queue="droptail",
         buffer_packets=buffer_packets,
     )
 
 
 def _run_cellular(
     name: str,
-    delivery_trace: Sequence[float],
+    base_cell: str,
+    trace_kind: str,
+    trace_seed: int,
     n_flows: int,
     n_runs: int,
     duration: float,
@@ -53,18 +54,22 @@ def _run_cellular(
     base_seed: int,
     backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
-    spec = cellular_spec(delivery_trace, n_flows)
+    # The registry cell carries the topology; the trace is re-described at
+    # the harness's duration so it covers the whole run without cycling,
+    # then materialized exactly once for both the packet count and the runs.
+    cell = get_scenario(base_cell).override(
+        n_flows=n_flows,
+        trace=TraceSpec(trace_kind, duration_seconds=duration, seed=trace_seed),
+    )
+    spec = cell.network_spec()
     schemes = list(schemes) if schemes is not None else standard_schemes()
-
-    def workload(_flow_id: int) -> ByteFlowWorkload:
-        return ByteFlowWorkload.exponential(mean_flow_bytes=100e3, mean_off_seconds=0.5)
 
     result = ExperimentResult(
         name=name,
         parameters={
             "n_flows": n_flows,
             "rtt_seconds": 0.050,
-            "trace_packets": len(delivery_trace),
+            "trace_packets": len(spec.delivery_trace),
             "n_runs": n_runs,
             "duration": duration,
         },
@@ -73,7 +78,7 @@ def _run_cellular(
     for summary in run_schemes(
         schemes,
         spec,
-        workload,
+        cell.workload_factory(),
         n_runs=n_runs,
         duration=duration,
         base_seed=base_seed,
@@ -93,10 +98,11 @@ def run_figure7(
     backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Figure 7: Verizon LTE downlink trace, n = 4 senders."""
-    trace = verizon_lte_trace(duration_seconds=duration, seed=trace_seed)
     return _run_cellular(
         f"Figure 7: Verizon LTE trace, n={n_flows}",
-        trace,
+        "fig7-lte4",
+        "verizon",
+        trace_seed,
         n_flows,
         n_runs,
         duration,
@@ -116,10 +122,11 @@ def run_figure8(
     backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Figure 8: Verizon LTE downlink trace, n = 8 senders."""
-    trace = verizon_lte_trace(duration_seconds=duration, seed=trace_seed)
     return _run_cellular(
         f"Figure 8: Verizon LTE trace, n={n_flows}",
-        trace,
+        "fig8-lte8",
+        "verizon",
+        trace_seed,
         n_flows,
         n_runs,
         duration,
@@ -139,10 +146,11 @@ def run_figure9(
     backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     """Figure 9: AT&T LTE downlink trace, n = 4 senders."""
-    trace = att_lte_trace(duration_seconds=duration, seed=trace_seed)
     return _run_cellular(
         f"Figure 9: AT&T LTE trace, n={n_flows}",
-        trace,
+        "fig9-att4",
+        "att",
+        trace_seed,
         n_flows,
         n_runs,
         duration,

@@ -20,9 +20,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.pretrained import pretrained_remycc
-from repro.netsim.network import NetworkSpec
 from repro.netsim.simulator import Simulation
 from repro.protocols.base import CongestionControl
+from repro.scenarios import get_scenario
 from repro.protocols.compound import CompoundTCP
 from repro.protocols.cubic import Cubic
 from repro.protocols.remycc import RemyCCProtocol
@@ -72,9 +72,7 @@ def _competing_run(
     base_seed: int,
     remy_tree_name: str = "coexist",
 ) -> CompetingRow:
-    spec = NetworkSpec(
-        link_rate_bps=15e6, rtt=0.150, n_flows=2, queue="droptail", buffer_packets=1000
-    )
+    spec = get_scenario("competing-remy-cubic").network
     tree = pretrained_remycc(remy_tree_name)
     remy_tputs, other_tputs = [], []
     for run_index in range(n_runs):

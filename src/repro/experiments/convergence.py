@@ -13,29 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.pretrained import pretrained_remycc
-from repro.netsim.network import NetworkSpec
-from repro.netsim.sender import FlowDemand, Workload
 from repro.netsim.simulator import Simulation
 from repro.protocols.remycc import RemyCCProtocol
-
-
-class _FixedOnPeriod(Workload):
-    """A source that is on from ``start`` for exactly ``duration`` seconds, then stops."""
-
-    def __init__(self, start: float, duration: float):
-        if start < 0 or duration <= 0:
-            raise ValueError("start must be >= 0 and duration > 0")
-        self.start = start
-        self.duration = duration
-
-    def first_on_delay(self, rng) -> float:
-        return self.start
-
-    def next_off_duration(self, rng) -> float:
-        return float("inf")
-
-    def next_flow(self, rng) -> FlowDemand:
-        return FlowDemand(duration=self.duration)
+from repro.scenarios import get_scenario
+from repro.traffic.onoff import FixedOnPeriodWorkload
 
 
 @dataclass
@@ -68,18 +49,14 @@ def run_figure6(
     """Run the Figure 6 scenario and return the convergence summary."""
     if not 0 < departure_time < duration:
         raise ValueError("departure_time must fall inside the run")
-    spec = NetworkSpec(
-        link_rate_bps=link_rate_bps,
-        rtt=rtt,
-        n_flows=2,
-        queue="droptail",
-        buffer_packets=1000,
-    )
+    spec = get_scenario("fig6-convergence").override(
+        link_rate_bps=link_rate_bps, rtt=rtt
+    ).network_spec()
     tree = pretrained_remycc(tree_name)
     protocols = [RemyCCProtocol(tree), RemyCCProtocol(tree)]
     workloads = [
-        _FixedOnPeriod(start=0.0, duration=duration),          # the observed flow
-        _FixedOnPeriod(start=0.0, duration=departure_time),     # the departing competitor
+        FixedOnPeriodWorkload(start=0.0, duration=duration),       # the observed flow
+        FixedOnPeriodWorkload(start=0.0, duration=departure_time), # the departing competitor
     ]
     sim = Simulation(
         spec, protocols, workloads, duration=duration, seed=seed, trace_flows=(0,)

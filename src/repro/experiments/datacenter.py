@@ -18,13 +18,13 @@ exact parameters.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.pretrained import pretrained_remycc
-from repro.netsim.network import NetworkSpec
 from repro.netsim.simulator import Simulation
 from repro.protocols.dctcp import DCTCP
 from repro.protocols.remycc import RemyCCProtocol
+from repro.scenarios import get_scenario
 from repro.traffic.onoff import ByteFlowWorkload
 
 
@@ -101,13 +101,13 @@ def run_datacenter(
             for _ in range(n_flows)
         ]
 
-    # DCTCP over the ECN-marking gateway.
-    dctcp_spec = NetworkSpec(
+    # DCTCP over the ECN-marking gateway: the registry cell (pinned at 1/32
+    # scale) re-scaled to the requested size.
+    dctcp_spec = replace(
+        get_scenario("datacenter-dctcp").network,
         link_rate_bps=link_rate,
         rtt=rtt,
         n_flows=n_flows,
-        queue="red-dctcp",
-        buffer_packets=1000,
         dctcp_marking_threshold=marking_threshold_packets,
     )
     dctcp_sim = Simulation(
@@ -121,13 +121,7 @@ def run_datacenter(
 
     # RemyCC (minimum-potential-delay objective) over plain DropTail.
     tree = pretrained_remycc("datacenter")
-    remy_spec = NetworkSpec(
-        link_rate_bps=link_rate,
-        rtt=rtt,
-        n_flows=n_flows,
-        queue="droptail",
-        buffer_packets=1000,
-    )
+    remy_spec = replace(dctcp_spec, queue="droptail")
     remy_sim = Simulation(
         remy_spec,
         [RemyCCProtocol(tree) for _ in range(n_flows)],

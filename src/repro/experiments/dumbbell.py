@@ -12,16 +12,18 @@ Both report, per scheme, the median per-sender throughput and queueing delay
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.experiments.base import (
     ExperimentResult,
     SchemeSpec,
-    run_schemes,
+    run_scenario_schemes,
     standard_schemes,
 )
 from repro.netsim.network import NetworkSpec
 from repro.runner import ExecutionBackend
+from repro.scenarios import get_scenario
 from repro.traffic.flowsize import icsi_flow_length_distribution
 from repro.traffic.onoff import ByteFlowWorkload
 
@@ -32,12 +34,12 @@ def dumbbell_spec(
     rtt: float = 0.150,
     buffer_packets: int = 1000,
 ) -> NetworkSpec:
-    """The §5.1 single-bottleneck topology (tail-drop, 1000-packet buffer)."""
-    return NetworkSpec(
+    """The §5.1 single-bottleneck topology, resolved from the registry cell."""
+    return replace(
+        get_scenario("fig4-dumbbell8").network,
         link_rate_bps=link_rate_bps,
         rtt=rtt,
         n_flows=n_flows,
-        queue="droptail",
         buffer_packets=buffer_packets,
     )
 
@@ -58,18 +60,18 @@ def run_figure4(
     here are scaled down for a pure-Python simulator but the parameters are
     exposed so paper-scale runs can be requested.
     """
-    spec = dumbbell_spec(n_flows)
-    schemes = list(schemes) if schemes is not None else standard_schemes()
-
-    def workload(_flow_id: int) -> ByteFlowWorkload:
-        return ByteFlowWorkload.exponential(
+    cell = get_scenario("fig4-dumbbell8").override(
+        n_flows=n_flows,
+        workload=ByteFlowWorkload.exponential(
             mean_flow_bytes=mean_flow_bytes, mean_off_seconds=mean_off_seconds
-        )
+        ),
+    )
+    schemes = list(schemes) if schemes is not None else standard_schemes()
 
     result = ExperimentResult(
         name=f"Figure 4: dumbbell, n={n_flows}, {mean_flow_bytes / 1e3:.0f} kB flows",
         parameters={
-            "link_rate_bps": spec.link_rate_bps,
+            "link_rate_bps": cell.network.link_rate_bps,
             "rtt_seconds": 0.150,
             "n_flows": n_flows,
             "mean_flow_bytes": mean_flow_bytes,
@@ -79,10 +81,9 @@ def run_figure4(
         },
     )
     # One batch covers the whole figure (scheme × run fan-out).
-    for summary in run_schemes(
+    for summary in run_scenario_schemes(
+        cell,
         schemes,
-        spec,
-        workload,
         n_runs=n_runs,
         duration=duration,
         base_seed=base_seed,
@@ -109,19 +110,19 @@ def run_figure5(
     ceiling keeps the workload comparable to the simulated duration while
     preserving the heavy tail.
     """
-    spec = dumbbell_spec(n_flows)
+    cell = get_scenario("fig5-dumbbell12").override(
+        n_flows=n_flows,
+        workload=ByteFlowWorkload(
+            flow_size=icsi_flow_length_distribution(maximum_bytes=max_flow_bytes),
+            mean_off_seconds=mean_off_seconds,
+        ),
+    )
     schemes = list(schemes) if schemes is not None else standard_schemes()
-    flow_sizes = icsi_flow_length_distribution(maximum_bytes=max_flow_bytes)
-
-    def workload(_flow_id: int) -> ByteFlowWorkload:
-        return ByteFlowWorkload(
-            flow_size=flow_sizes, mean_off_seconds=mean_off_seconds
-        )
 
     result = ExperimentResult(
         name=f"Figure 5: dumbbell, n={n_flows}, ICSI flow lengths",
         parameters={
-            "link_rate_bps": spec.link_rate_bps,
+            "link_rate_bps": cell.network.link_rate_bps,
             "rtt_seconds": 0.150,
             "n_flows": n_flows,
             "flow_length": "Pareto (Figure 3) + 16 kB",
@@ -131,10 +132,9 @@ def run_figure5(
         },
     )
     # One batch covers the whole figure (scheme × run fan-out).
-    for summary in run_schemes(
+    for summary in run_scenario_schemes(
+        cell,
         schemes,
-        spec,
-        workload,
         n_runs=n_runs,
         duration=duration,
         base_seed=base_seed,

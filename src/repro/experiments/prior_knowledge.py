@@ -13,14 +13,14 @@ assumption is violated, while the 10× table is robust across its whole band.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.core.objective import Objective
 from repro.experiments.base import SchemeSpec, remycc_scheme
-from repro.netsim.network import NetworkSpec
 from repro.netsim.simulator import Simulation
 from repro.protocols.cubic import Cubic
+from repro.scenarios import get_scenario
 from repro.traffic.onoff import TimedFlowWorkload
 
 #: Link speeds swept in the scaled-down default run (the paper sweeps roughly
@@ -99,14 +99,19 @@ def run_figure11(
     objective = Objective.proportional(delta=1.0)
     result = PriorKnowledgeResult()
 
+    # The registry cell carries the base dumbbell topology; the harness keeps
+    # its own workloads (per-flow start_on below), so only the network is
+    # resolved — replace() rather than override(), which would re-validate
+    # the cell's 2-flow per_flow_workloads against the requested n_flows.
+    base_network = get_scenario("fig11-prior-1x").network
     for speed_mbps in link_speeds_mbps:
         for scheme in schemes:
-            spec = NetworkSpec(
+            spec = replace(
+                base_network,
                 link_rate_bps=speed_mbps * 1e6,
                 rtt=rtt,
                 n_flows=n_flows,
                 queue=scheme.queue if scheme.queue is not None else "droptail",
-                buffer_packets=1000,
             )
             scores, tputs, delays = [], [], []
             for run_index in range(n_runs):

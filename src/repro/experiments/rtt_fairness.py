@@ -16,14 +16,13 @@ from typing import Optional, Sequence
 
 from repro.analysis.fairness import jain_index, normalized_shares
 from repro.experiments.base import SchemeSpec, remycc_scheme
-from repro.netsim.network import NetworkSpec
 from repro.netsim.simulator import Simulation
 from repro.protocols.cubic import Cubic
+from repro.scenarios import FIGURE10_RTTS, get_scenario
 from repro.traffic.flowsize import icsi_flow_length_distribution
 from repro.traffic.onoff import ByteFlowWorkload
 
-#: Per-flow round-trip times of the Figure 10 scenario (seconds).
-FIGURE10_RTTS = (0.050, 0.100, 0.150, 0.200)
+__all__ = ["FIGURE10_RTTS", "RttFairnessResult", "run_figure10", "format_figure10"]
 
 
 @dataclass
@@ -68,13 +67,12 @@ def run_figure10(
     flow_sizes = icsi_flow_length_distribution(maximum_bytes=max_flow_bytes)
     results = []
     for scheme in schemes:
-        spec = NetworkSpec(
+        # The registry cell pins the four RTTs; only the queue (and the
+        # swept link rate) vary per scheme.
+        spec = get_scenario("fig10-rtt-fairness").override(
             link_rate_bps=link_rate_bps,
-            rtt=FIGURE10_RTTS,
-            n_flows=len(FIGURE10_RTTS),
             queue=scheme.queue if scheme.queue is not None else "droptail",
-            buffer_packets=1000,
-        )
+        ).network_spec()
         per_run_shares: list[list[float]] = []
         for run_index in range(n_runs):
             protocols = scheme.make_protocols(spec.n_flows)

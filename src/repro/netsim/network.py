@@ -54,6 +54,11 @@ class NetworkSpec:
         Optional sequence of packet-delivery timestamps; when given, the
         bottleneck is a :class:`~repro.netsim.link.TraceDrivenLink` replaying
         a cellular trace instead of a constant-rate link.
+    loss_rate:
+        Probability that a data packet is lost on the forward path *before*
+        reaching the bottleneck queue (stochastic non-congestive loss, e.g. a
+        lossy radio segment).  Acknowledgments are never lost — the return
+        path stays ideal, as in the paper's single-bottleneck topologies.
     mss_bytes:
         Data segment size.
     """
@@ -64,6 +69,7 @@ class NetworkSpec:
     queue: Union[str, QueueFactory] = "droptail"
     buffer_packets: int = 1000
     delivery_trace: Optional[Sequence[float]] = None
+    loss_rate: float = 0.0
     mss_bytes: int = 1500
     #: CoDel / RED parameters, consulted only by the relevant queue kinds.
     codel_target: float = 0.005
@@ -79,6 +85,8 @@ class NetworkSpec:
             raise ValueError("link_rate_bps must be positive")
         if self.buffer_packets <= 0:
             raise ValueError("buffer_packets must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
         if isinstance(self.queue, str) and self.queue not in QUEUE_KINDS:
             raise ValueError(f"unknown queue kind {self.queue!r}; expected one of {QUEUE_KINDS}")
 
@@ -202,6 +210,14 @@ class DumbbellNetwork:
                 name="bottleneck",
             )
         self.bottleneck.connect(self._deliver_data)
+        #: Stochastic forward-path loss (``spec.loss_rate``): a dedicated rng
+        #: (derived from the network rng only when enabled, so loss-free
+        #: specs keep their exact pre-existing random streams) and a counter
+        #: of packets lost before the bottleneck.
+        self._loss_rng: Optional[random.Random] = None
+        if spec.loss_rate > 0.0:
+            self._loss_rng = random.Random(self.rng.getrandbits(32))
+        self.link_losses = 0
         #: flow id -> FlowStats; the link updates queueing-delay counters
         #: inline instead of calling back through two observer hops.
         self._delay_stats: dict[int, FlowStats] = {}
@@ -218,7 +234,10 @@ class DumbbellNetwork:
             raise ValueError(f"flow {flow_id} already attached")
         rtt = self.spec.rtt_for_flow(flow_id)
         endpoints = FlowEndpoints(sender=sender, receiver=receiver, stats=sender.stats, rtt=rtt)
-        sender.connect(self.bottleneck.receive)
+        if self._loss_rng is not None:
+            sender.connect(self._lossy_receive)
+        else:
+            sender.connect(self.bottleneck.receive)
         one_way = rtt / 2
         # The return path is uncongested: bind the one-way delay and the
         # sender's ACK handler directly into the receiver's callback so no
@@ -231,6 +250,16 @@ class DumbbellNetwork:
         return endpoints
 
     # -- packet plumbing -------------------------------------------------------
+    def _lossy_receive(self, packet: Packet) -> None:
+        """Forward-path entry when ``spec.loss_rate`` > 0: Bernoulli loss
+        ahead of the bottleneck queue (the sender recovers via its normal
+        loss-detection machinery)."""
+        if self._loss_rng.random() < self.spec.loss_rate:
+            self.link_losses += 1
+            packet.release()  # drop sink: stochastic link loss
+            return
+        self.bottleneck.receive(packet)
+
     def _deliver_data(self, packet: Packet) -> None:
         route = self._data_routes.get(packet.flow_id)
         if route is None:

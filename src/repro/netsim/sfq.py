@@ -92,12 +92,20 @@ class SfqCoDelQueue(QueueDiscipline):
             bucket = self._active[0]
             queue = self._queues[bucket]
             before = len(queue)
+            before_bytes = queue.bytes_queued()
             packet = queue.dequeue(now)
             after = len(queue)
             consumed = before - after - (1 if packet is not None else 0)
-            # ``consumed`` counts packets CoDel dropped internally.
+            # ``consumed`` counts packets CoDel dropped internally; the shared
+            # byte total must shed what the sub-queue shed (minus the packet
+            # being returned, which is accounted below).
             if consumed > 0:
                 self._total_packets -= consumed
+                self._total_bytes -= (
+                    before_bytes
+                    - queue.bytes_queued()
+                    - (packet.size_bytes if packet is not None else 0)
+                )
                 self.drops += consumed
             if packet is None:
                 # Bucket empty (or fully drained by CoDel): retire it.

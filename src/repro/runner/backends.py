@@ -20,6 +20,7 @@ result of ``jobs[i]``.
 from __future__ import annotations
 
 import os
+import pickle
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import replace
@@ -134,14 +135,49 @@ class ProcessPoolBackend(ExecutionBackend):
         # vary while still amortizing IPC over several jobs per task.
         return max(1, -(-n_jobs // (self.max_workers * 4)))
 
+    def _check_factories_picklable(self, jobs: Sequence[SimJob]) -> None:
+        """Fail fast, with a clear error, on factories that cannot ship.
+
+        Without this, a closure ``protocol_factory`` (e.g. a lambda closing
+        over a rule table) dies deep inside the executor with a bare pickle
+        traceback — after workers have already been spawned.  Each distinct
+        factory is probed once per batch.
+        """
+        probed: set[int] = set()
+        for job in jobs:
+            factory = job.protocol_factory
+            if factory is None or id(factory) in probed:
+                continue
+            probed.add(id(factory))
+            try:
+                pickle.dumps(factory)
+            except Exception as exc:
+                raise ValueError(
+                    f"protocol_factory {factory!r} (job {job.job_id}) is not "
+                    "picklable, so it cannot cross a process boundary: "
+                    "closures and lambdas do not pickle.  Use a module-level "
+                    "callable (e.g. the protocol class), describe the scheme "
+                    "by its rule table (tree=...) or a registered scenario "
+                    "(scenario=...), or run on SerialBackend."
+                ) from exc
+
     def _prepare(self, jobs: Sequence[SimJob]) -> list[SimJob]:
         # Imported here rather than at module scope: repro.core's package
         # __init__ imports the evaluator, which imports this package.
         from repro.core.serialization import whisker_tree_from_dict, whisker_tree_to_dict
 
+        self._check_factories_picklable(jobs)
         clean_trees: dict[int, object] = {}
         prepared = []
         for job in jobs:
+            if isinstance(job.scenario, str):
+                # Resolve names against the *submitting* process's registry:
+                # a worker only has the built-in cells, so a runtime-registered
+                # name would die there with a bare KeyError.  (Unknown names
+                # also fail fast here, before any worker is spawned.)
+                from repro.scenarios import get_scenario
+
+                job = replace(job, scenario=get_scenario(job.scenario))
             if job.tree is not None:
                 key = id(job.tree)
                 if key not in clean_trees:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.netsim.network import NetworkSpec
 from repro.netsim.sender import Workload
@@ -32,6 +32,7 @@ if TYPE_CHECKING:
     # repro.core here would be circular (likewise for protocols).
     from repro.core.whisker_tree import WhiskerTree
     from repro.protocols.base import CongestionControl
+    from repro.scenarios.spec import ScenarioSpec
 
 ProtocolFactory = Callable[[], "CongestionControl"]
 
@@ -54,11 +55,23 @@ def mix_seed(*components: object) -> int:
 class SimJob:
     """One specimen simulation, described picklably.
 
-    Exactly one of ``tree`` (a RemyCC rule table executed at every sender)
-    or ``protocol_factory`` (a picklable zero-argument congestion-control
-    constructor, e.g. a protocol class) must be set.  ``workloads`` holds one
-    on/off workload object per flow; an empty tuple means all-always-on
-    sources (the :class:`~repro.netsim.simulator.Simulation` default).
+    Exactly one protocol source must be set:
+
+    * ``tree`` — a RemyCC rule table executed at every sender;
+    * ``protocol_factory`` — a picklable zero-argument congestion-control
+      constructor (e.g. a protocol class); or
+    * ``scenario`` — a :class:`~repro.scenarios.spec.ScenarioSpec` (or the
+      name of a registered one), whose (possibly mixed) protocol set is
+      materialized in whichever process runs the job.  A spec object is
+      self-contained; a *name* is resolved against the registry of the
+      executing process, so runtime-registered cells should ship the spec
+      itself (:meth:`from_scenario` does, and
+      :class:`~repro.runner.backends.ProcessPoolBackend` resolves names at
+      submission time for the same reason).
+
+    ``workloads`` holds one on/off workload object per flow; an empty tuple
+    means all-always-on sources (the
+    :class:`~repro.netsim.simulator.Simulation` default).
     """
 
     job_id: int
@@ -69,16 +82,57 @@ class SimJob:
     tree: Optional["WhiskerTree"] = None
     training: bool = False
     protocol_factory: Optional[ProtocolFactory] = None
+    scenario: Optional[Union[str, "ScenarioSpec"]] = None
     max_events: Optional[int] = None
     trace_flows: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
-        if (self.tree is None) == (self.protocol_factory is None):
-            raise ValueError("exactly one of tree or protocol_factory must be set")
+        sources = sum(
+            source is not None
+            for source in (self.tree, self.protocol_factory, self.scenario)
+        )
+        if sources != 1:
+            raise ValueError(
+                "exactly one of tree, protocol_factory or scenario must be set"
+            )
         if self.workloads and len(self.workloads) != self.spec.n_flows:
             raise ValueError(
                 f"got {len(self.workloads)} workloads for {self.spec.n_flows} flows"
             )
+
+    @classmethod
+    def from_scenario(
+        cls,
+        name: str,
+        job_id: int = 0,
+        duration: Optional[float] = None,
+        seed: Optional[int] = None,
+        max_events: Optional[int] = None,
+        trace_flows: tuple[int, ...] = (),
+    ) -> "SimJob":
+        """A job replaying the named registered scenario cell.
+
+        The cell's canonical duration/seed apply unless overridden.  The
+        resolved spec itself — network, workloads, protocol set — is
+        captured at submission time, so the job is fully self-contained:
+        cells registered at runtime (not just built-ins) survive the trip
+        to a worker process, and mixed protocol sets rebuild from the
+        embedded spec there.
+        """
+        from repro.scenarios import get_scenario
+
+        cell = get_scenario(name)
+        workloads = cell.make_workloads()
+        return cls(
+            job_id=job_id,
+            spec=cell.network_spec(),
+            duration=cell.duration if duration is None else duration,
+            seed=cell.seed if seed is None else seed,
+            workloads=tuple(workloads) if workloads is not None else (),
+            scenario=cell,
+            max_events=max_events,
+            trace_flows=trace_flows,
+        )
 
     def build_protocols(self) -> list["CongestionControl"]:
         """Instantiate one congestion-control module per flow."""
@@ -91,6 +145,13 @@ class SimJob:
                 RemyCCProtocol(self.tree, training=self.training)
                 for _ in range(self.spec.n_flows)
             ]
+        if self.scenario is not None:
+            cell = self.scenario
+            if isinstance(cell, str):
+                from repro.scenarios import get_scenario
+
+                cell = get_scenario(cell)
+            return cell.make_protocols()
         assert self.protocol_factory is not None
         return [self.protocol_factory() for _ in range(self.spec.n_flows)]
 

@@ -1,0 +1,408 @@
+"""The built-in scenario matrix: every paper figure plus beyond-paper cells.
+
+Each cell's ``(duration, seed)`` is its *canonical* identity — what the
+committed golden fingerprint (``tests/golden/fingerprints.json``) pins and
+what ``tests/test_scenario_matrix.py`` replays.  Durations are deliberately
+short (2-4 simulated seconds): the matrix must run as a test suite, and the
+bit-exact determinism contract is duration-independent.  Consumers that need
+paper-scale runs (the figure harnesses, the events/sec benchmark) resolve the
+same cells and override duration/seed/workload via
+:meth:`~repro.scenarios.spec.ScenarioSpec.override` or ``build(duration=...)``.
+
+Topology tags and their tier-1 smoke representative (``smoke=True`` — exactly
+one per topology, asserted by the matrix suite):
+
+==============  =======================  ===================================
+Topology        Smoke cell               Covers
+==============  =======================  ===================================
+``dumbbell``    ``fig4-dumbbell8``       single-bottleneck tail-drop (§5.2)
+``cellular``    ``fig7-lte4``            trace-driven LTE downlink (§5.3)
+``rtt``         ``fig10-rtt-fairness``   per-flow RTT asymmetry (§5.4)
+``datacenter``  ``datacenter-dctcp``     high-rate/low-RTT incast-ish (§5.5)
+``bench``       ``bench-newreno-droptail``  events/sec benchmark cases
+==============  =======================  ===================================
+"""
+
+from __future__ import annotations
+
+from repro.netsim.network import NetworkSpec
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import ProtocolSpec, ScenarioSpec, TraceSpec
+from repro.traffic.flowsize import icsi_flow_length_distribution
+from repro.traffic.incast import IncastWorkload
+from repro.traffic.onoff import (
+    ByteFlowWorkload,
+    FixedOnPeriodWorkload,
+    TimedFlowWorkload,
+)
+
+#: Per-flow round-trip times of the Figure 10 scenario (seconds).
+FIGURE10_RTTS = (0.050, 0.100, 0.150, 0.200)
+
+#: Per-flow RTTs of the beyond-paper asymmetric dumbbell (a 10× RTT spread,
+#: wider than Figure 10's 4×).
+ASYM_RTTS = (0.030, 0.075, 0.150, 0.300)
+
+
+def _dumbbell(n_flows: int, **overrides) -> NetworkSpec:
+    """The §5.1 baseline bottleneck: 15 Mbps, 150 ms, 1000-packet tail-drop."""
+    params = dict(
+        link_rate_bps=15e6,
+        rtt=0.150,
+        n_flows=n_flows,
+        queue="droptail",
+        buffer_packets=1000,
+    )
+    params.update(overrides)
+    return NetworkSpec(**params)
+
+
+def _paper_onoff() -> ByteFlowWorkload:
+    """The paper's most common workload: 100 kB flows, 0.5 s mean off time."""
+    return ByteFlowWorkload.exponential(mean_flow_bytes=100e3, mean_off_seconds=0.5)
+
+
+def _icsi_onoff(mean_off_seconds: float = 0.2) -> ByteFlowWorkload:
+    """Heavy-tailed ICSI flow lengths (Figure 3), truncated at 20 MB."""
+    return ByteFlowWorkload(
+        flow_size=icsi_flow_length_distribution(maximum_bytes=20e6),
+        mean_off_seconds=mean_off_seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Paper-figure cells
+# ---------------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="fig4-dumbbell8",
+        description="Figure 4 dumbbell: 8 senders, exponential 100 kB flows over DropTail",
+        topology="dumbbell",
+        network=_dumbbell(8),
+        protocols=(ProtocolSpec("newreno"),),
+        workload=_paper_onoff(),
+        duration=3.0,
+        seed=42,
+        smoke=True,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="fig5-dumbbell12",
+        description="Figure 5 dumbbell: 12 senders, heavy-tailed ICSI flow lengths",
+        topology="dumbbell",
+        network=_dumbbell(12),
+        protocols=(ProtocolSpec("cubic"),),
+        workload=_icsi_onoff(),
+        duration=3.0,
+        seed=43,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="fig6-convergence",
+        description="Figure 6: RemyCC flow with a competitor departing mid-run",
+        topology="dumbbell",
+        network=_dumbbell(2),
+        protocols=(ProtocolSpec("remy", tree="delta1"),),
+        per_flow_workloads=(
+            FixedOnPeriodWorkload(start=0.0, duration=3.0),  # observed flow
+            FixedOnPeriodWorkload(start=0.0, duration=1.5),  # departing competitor
+        ),
+        duration=3.0,
+        seed=66,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="fig7-lte4",
+        description="Figure 7: Verizon LTE downlink trace, 4 senders over DropTail",
+        topology="cellular",
+        network=NetworkSpec(
+            link_rate_bps=15e6,  # nominal; trace governs delivery
+            rtt=0.050,
+            n_flows=4,
+            queue="droptail",
+            buffer_packets=1000,
+        ),
+        trace=TraceSpec("verizon", duration_seconds=4.0, seed=1),
+        protocols=(ProtocolSpec("newreno"),),
+        workload=_paper_onoff(),
+        duration=4.0,
+        seed=71,
+        smoke=True,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="fig8-lte8",
+        description="Figure 8: Verizon LTE downlink trace, 8 senders",
+        topology="cellular",
+        network=NetworkSpec(
+            link_rate_bps=15e6,
+            rtt=0.050,
+            n_flows=8,
+            queue="droptail",
+            buffer_packets=1000,
+        ),
+        trace=TraceSpec("verizon", duration_seconds=4.0, seed=1),
+        protocols=(ProtocolSpec("cubic"),),
+        workload=_paper_onoff(),
+        duration=4.0,
+        seed=72,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="fig9-att4",
+        description="Figure 9: AT&T LTE downlink trace (slower, choppier), 4 senders",
+        topology="cellular",
+        network=NetworkSpec(
+            link_rate_bps=15e6,
+            rtt=0.050,
+            n_flows=4,
+            queue="droptail",
+            buffer_packets=1000,
+        ),
+        trace=TraceSpec("att", duration_seconds=4.0, seed=2),
+        protocols=(ProtocolSpec("vegas"),),
+        workload=_paper_onoff(),
+        duration=4.0,
+        seed=73,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="fig10-rtt-fairness",
+        description="Figure 10: four RTTs (50-200 ms) sharing Cubic-over-sfqCoDel",
+        topology="rtt",
+        network=NetworkSpec(
+            link_rate_bps=10e6,
+            rtt=FIGURE10_RTTS,
+            n_flows=len(FIGURE10_RTTS),
+            queue="sfqcodel",
+            buffer_packets=1000,
+        ),
+        protocols=(ProtocolSpec("cubic"),),
+        workload=_icsi_onoff(),
+        duration=3.0,
+        seed=100,
+        smoke=True,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="fig11-prior-1x",
+        description="Figure 11: exact-prior RemyCC (1x table) at its 15 Mbps design point",
+        topology="dumbbell",
+        network=_dumbbell(2),
+        protocols=(ProtocolSpec("remy", tree="1x"),),
+        per_flow_workloads=(
+            TimedFlowWorkload.exponential(
+                mean_on_seconds=5.0, mean_off_seconds=5.0, start_on=True
+            ),
+            TimedFlowWorkload.exponential(
+                mean_on_seconds=5.0, mean_off_seconds=5.0, start_on=False
+            ),
+        ),
+        duration=3.0,
+        seed=110,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="datacenter-dctcp",
+        description="§5.5 datacenter at 1/32 scale: DCTCP over an ECN-marking gateway",
+        topology="datacenter",
+        network=NetworkSpec(
+            link_rate_bps=10e9 / 32,
+            rtt=0.004,
+            n_flows=2,
+            queue="red-dctcp",
+            buffer_packets=1000,
+            dctcp_marking_threshold=65.0,
+        ),
+        protocols=(ProtocolSpec("dctcp"),),
+        workload=ByteFlowWorkload.exponential(
+            mean_flow_bytes=20e6 / 32, mean_off_seconds=0.1
+        ),
+        duration=2.0,
+        seed=5,
+        smoke=True,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="competing-remy-cubic",
+        description="§5.6 incremental deployment: coexistence RemyCC sharing with Cubic",
+        topology="dumbbell",
+        network=_dumbbell(2),
+        protocols=(
+            ProtocolSpec("remy", tree="coexist"),
+            ProtocolSpec("cubic"),
+        ),
+        workload=_paper_onoff(),
+        duration=3.0,
+        seed=61,
+    )
+)
+
+
+register_scenario(
+    ScenarioSpec(
+        name="xcp-router",
+        description="XCP endpoints over the explicit-feedback XCP router (§5 baseline)",
+        topology="dumbbell",
+        network=NetworkSpec(
+            link_rate_bps=10e6,
+            rtt=0.05,
+            n_flows=4,
+            queue="xcp",
+            buffer_packets=120,
+        ),
+        protocols=(ProtocolSpec("xcp"),),
+        duration=3.0,
+        seed=7,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Beyond-paper cells (coverage growth)
+# ---------------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="dumbbell-asym-rtt",
+        description="Asymmetric-RTT dumbbell: 10x RTT spread (30-300 ms) over DropTail",
+        topology="rtt",
+        network=_dumbbell(len(ASYM_RTTS), rtt=ASYM_RTTS),
+        protocols=(ProtocolSpec("newreno"),),
+        workload=ByteFlowWorkload.exponential(
+            mean_flow_bytes=100e3, mean_off_seconds=0.3
+        ),
+        duration=3.0,
+        seed=201,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="bursty-onoff-codel",
+        description="Bursty on/off sources (40 kB flows, 50 ms off) over single-queue CoDel",
+        topology="dumbbell",
+        network=NetworkSpec(
+            link_rate_bps=12e6,
+            rtt=0.060,
+            n_flows=6,
+            queue="codel",
+            buffer_packets=300,
+        ),
+        protocols=(ProtocolSpec("newreno"),),
+        workload=ByteFlowWorkload.exponential(
+            mean_flow_bytes=40e3, mean_off_seconds=0.05
+        ),
+        duration=3.0,
+        seed=202,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="incast-sfqcodel",
+        description="Datacenter incast (synchronised arrivals) over a shallow sfqCoDel gateway",
+        topology="datacenter",
+        network=NetworkSpec(
+            link_rate_bps=200e6,
+            rtt=0.002,
+            n_flows=8,
+            queue="sfqcodel",
+            buffer_packets=96,
+        ),
+        protocols=(ProtocolSpec("cubic"),),
+        workload=IncastWorkload.exponential(
+            mean_flow_bytes=60e3, epoch_seconds=0.05, jitter_seconds=0.002
+        ),
+        duration=2.0,
+        seed=203,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cellular-lossy",
+        description="Lossy-link cellular: Verizon trace with 1% stochastic forward loss",
+        topology="cellular",
+        network=NetworkSpec(
+            link_rate_bps=15e6,
+            rtt=0.050,
+            n_flows=4,
+            queue="droptail",
+            buffer_packets=1000,
+            loss_rate=0.01,
+        ),
+        trace=TraceSpec("verizon", duration_seconds=4.0, seed=9),
+        protocols=(ProtocolSpec("newreno"),),
+        workload=_paper_onoff(),
+        duration=4.0,
+        seed=204,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark cells (the events/sec harness builds these with duration=5.0)
+# ---------------------------------------------------------------------------
+def _bench_network(queue: str) -> NetworkSpec:
+    return NetworkSpec(
+        link_rate_bps=10e6, rtt=0.05, n_flows=4, queue=queue, buffer_packets=500
+    )
+
+
+for _queue in ("droptail", "codel", "sfqcodel", "red", "xcp"):
+    register_scenario(
+        ScenarioSpec(
+            name=f"bench-newreno-{_queue}",
+            description=f"events/sec benchmark: 4 always-on NewReno senders over {_queue}",
+            topology="bench",
+            network=_bench_network(_queue),
+            # NewReno even over the XCP router: the bench measures the queue
+            # discipline's overhead under an unchanged end-to-end sender.
+            protocols=(ProtocolSpec("newreno"),),
+            duration=2.0,
+            seed=0,
+            smoke=_queue == "droptail",
+        )
+    )
+
+register_scenario(
+    ScenarioSpec(
+        name="bench-remy-droptail",
+        description="events/sec benchmark: 4 always-on RemyCC (delta1) senders, execution mode",
+        topology="bench",
+        network=_bench_network("droptail"),
+        protocols=(ProtocolSpec("remy", tree="delta1"),),
+        duration=2.0,
+        seed=0,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="bench-remy-training",
+        description="events/sec benchmark: 4 always-on RemyCC (delta1) senders, training mode",
+        topology="bench",
+        network=_bench_network("droptail"),
+        protocols=(ProtocolSpec("remy", tree="delta1", training=True),),
+        duration=2.0,
+        seed=0,
+    )
+)

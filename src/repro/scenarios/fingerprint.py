@@ -1,0 +1,81 @@
+"""Bit-exact fingerprints of scenario cells and golden-file helpers.
+
+A *fingerprint* is a JSON-friendly digest of one simulation run: event/drop/
+mark counters plus every per-flow statistic, with floats rendered via
+``repr`` so the comparison is bit-exact.  The golden file
+(``tests/golden/fingerprints.json``) commits one fingerprint per registered
+cell; ``tests/test_scenario_matrix.py`` replays every cell against it and
+``tools/fingerprint.py --update`` regenerates it after a deliberate
+semantics change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.netsim.simulator import SimulationResult
+from repro.netsim.stats import FlowStats
+from repro.scenarios.spec import ScenarioSpec
+
+#: Where the committed golden fingerprints live, relative to the repo root.
+GOLDEN_RELPATH = Path("tests") / "golden" / "fingerprints.json"
+
+
+def flow_fingerprint(stats: FlowStats) -> list:
+    """Digest of one flow's statistics; floats via ``repr`` for bit-exactness."""
+    return [
+        stats.flow_id,
+        stats.bytes_received,
+        stats.packets_received,
+        stats.packets_sent,
+        stats.retransmissions,
+        stats.losses_detected,
+        stats.timeouts,
+        repr(stats.on_time),
+        repr(stats.queue_delay_sum),
+        stats.queue_delay_count,
+        repr(stats.rtt_sum),
+        stats.rtt_count,
+        repr(stats.max_queue_delay),
+    ]
+
+
+def simulation_fingerprint(result: SimulationResult) -> dict:
+    """Digest of one :class:`SimulationResult`."""
+    return {
+        "events": result.events_processed,
+        "drops": result.queue_drops,
+        "marks": result.queue_marks,
+        "flows": [flow_fingerprint(stats) for stats in result.flow_stats],
+    }
+
+
+def cell_fingerprint(cell: ScenarioSpec, **build_kwargs) -> dict:
+    """Run one cell at its canonical ``(duration, seed)`` and digest it."""
+    return simulation_fingerprint(cell.run(**build_kwargs))
+
+
+def golden_path(repo_root: Optional[Path] = None) -> Path:
+    """Path of the committed golden file (default: relative to this package)."""
+    if repo_root is None:
+        # src/repro/scenarios/fingerprint.py -> repo root is four levels up.
+        repo_root = Path(__file__).resolve().parents[3]
+    return repo_root / GOLDEN_RELPATH
+
+
+def load_golden(path: Optional[Path] = None) -> dict[str, dict]:
+    """The committed cell fingerprints, as ``{cell name: fingerprint}``."""
+    path = path if path is not None else golden_path()
+    data = json.loads(path.read_text())
+    return data.get("cells", {})
+
+
+def dump_golden(cells: dict[str, dict], path: Optional[Path] = None) -> Path:
+    """Write the golden file (sorted, newline-terminated) and return its path."""
+    path = path if path is not None else golden_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": 1, "cells": {name: cells[name] for name in sorted(cells)}}
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path

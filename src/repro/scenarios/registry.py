@@ -1,0 +1,74 @@
+"""The scenario registry: named cells, one namespace for every consumer.
+
+Cells register once (module import time for the built-ins in
+:mod:`repro.scenarios.builtin`; tests and downstream code may register their
+own) and are resolved by name everywhere else — experiment harnesses, the
+events/sec benchmark, ``tools/fingerprint.py`` and the golden matrix suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.scenarios.spec import ScenarioSpec
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a cell to the registry; returns the spec for chaining.
+
+    Duplicate names are an error unless ``replace=True`` (useful in tests
+    that shadow a built-in with a scaled-down variant).
+    """
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a cell (primarily for tests registering temporary cells)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Resolve a cell by name; unknown names list what is available."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names(topology: Optional[str] = None) -> list[str]:
+    """Registered cell names (sorted), optionally filtered by topology tag."""
+    return sorted(
+        name
+        for name, spec in _REGISTRY.items()
+        if topology is None or spec.topology == topology
+    )
+
+
+def all_scenarios() -> list[ScenarioSpec]:
+    """Every registered cell, in name order."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+def smoke_scenarios() -> list[ScenarioSpec]:
+    """The tier-1 smoke subset: cells flagged ``smoke=True`` (one per topology
+    by convention, which the matrix suite asserts)."""
+    return [spec for spec in all_scenarios() if spec.smoke]
+
+
+def topologies() -> list[str]:
+    """Distinct topology tags across the registry."""
+    return sorted({spec.topology for spec in _REGISTRY.values()})
+
+
+def iter_scenarios(names: Optional[Iterable[str]] = None) -> list[ScenarioSpec]:
+    """Resolve an optional name subset (``None`` = every registered cell)."""
+    if names is None:
+        return all_scenarios()
+    return [get_scenario(name) for name in names]

@@ -15,7 +15,12 @@ from repro.traffic.distributions import (
     UniformDistribution,
 )
 from repro.traffic.flowsize import icsi_flow_length_distribution, ICSI_PARETO_ALPHA, ICSI_PARETO_XM
-from repro.traffic.onoff import ByteFlowWorkload, TimedFlowWorkload, OnOffWorkload
+from repro.traffic.onoff import (
+    ByteFlowWorkload,
+    FixedOnPeriodWorkload,
+    OnOffWorkload,
+    TimedFlowWorkload,
+)
 from repro.traffic.incast import IncastWorkload
 
 __all__ = [
@@ -31,5 +36,6 @@ __all__ = [
     "OnOffWorkload",
     "ByteFlowWorkload",
     "TimedFlowWorkload",
+    "FixedOnPeriodWorkload",
     "IncastWorkload",
 ]

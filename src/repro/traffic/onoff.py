@@ -13,11 +13,36 @@ an "on" period whose demand is either
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Optional
 
 from repro.netsim.sender import FlowDemand, Workload
 from repro.traffic.distributions import ConstantDistribution, Distribution, ExponentialDistribution
+
+
+class FixedOnPeriodWorkload(Workload):
+    """On from ``start`` for exactly ``duration`` seconds, then off forever.
+
+    Deterministic by construction (no rng draws), which makes it the building
+    block for arrival/departure scenarios: Figure 6's departing competitor is
+    one of these ending mid-run.
+    """
+
+    def __init__(self, start: float, duration: float):
+        if start < 0 or duration <= 0:
+            raise ValueError("start must be >= 0 and duration > 0")
+        self.start = start
+        self.duration = duration
+
+    def first_on_delay(self, rng: random.Random) -> float:
+        return self.start
+
+    def next_off_duration(self, rng: random.Random) -> float:
+        return math.inf
+
+    def next_flow(self, rng: random.Random) -> FlowDemand:
+        return FlowDemand(duration=self.duration)
 
 
 class OnOffWorkload(Workload):

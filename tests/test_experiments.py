@@ -149,6 +149,21 @@ class TestPriorKnowledge:
             assert result.score_at("RemyCC 10x", speed) > -6.0
         assert "Figure 11" in result.format_table()
 
+    def test_figure11_accepts_nondefault_flow_count(self):
+        # Regression: the base cell carries 2 per-flow workloads; resolving
+        # only its network must not re-validate them against n_flows=3.
+        from repro.experiments.base import SchemeSpec
+        from repro.protocols.newreno import NewReno
+
+        result = run_figure11(
+            link_speeds_mbps=(8.0,),
+            schemes=[SchemeSpec("NewReno", NewReno)],
+            n_flows=3,
+            n_runs=1,
+            duration=4.0,
+        )
+        assert result.points and result.points[0].scheme == "NewReno"
+
 
 class TestSummaryTables:
     def test_dumbbell_summary_rows(self):

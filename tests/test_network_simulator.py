@@ -53,6 +53,56 @@ class TestNetworkSpec:
             NetworkSpec(n_flows=0)
 
 
+class TestForwardPathLoss:
+    def _run(self, loss_rate: float, seed: int = 3):
+        spec = NetworkSpec(
+            link_rate_bps=6e6,
+            rtt=0.05,
+            n_flows=2,
+            queue="droptail",
+            buffer_packets=200,
+            loss_rate=loss_rate,
+        )
+        sim = Simulation(
+            spec,
+            [NewReno() for _ in range(2)],
+            [AlwaysOnWorkload() for _ in range(2)],
+            duration=3.0,
+            seed=seed,
+        )
+        return sim, sim.run()
+
+    def test_loss_rate_validated(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkSpec(loss_rate=-0.1)
+
+    def test_lossy_link_drops_and_senders_recover(self):
+        sim, result = self._run(loss_rate=0.02)
+        assert sim.network.link_losses > 0
+        assert sum(s.losses_detected for s in result.flow_stats) > 0
+        assert all(s.bytes_received > 0 for s in result.flow_stats)
+
+    def test_zero_loss_rate_is_the_exact_lossless_stream(self):
+        # loss_rate=0 must not consume any randomness: results are
+        # bit-identical to a spec without the field.
+        _, lossless = self._run(loss_rate=0.0)
+        _, baseline = self._run(loss_rate=0.0)  # determinism sanity
+        assert lossless.events_processed == baseline.events_processed
+        sim, _ = self._run(loss_rate=0.0)
+        assert sim.network.link_losses == 0
+        assert sim.network._loss_rng is None
+
+    def test_lossy_runs_are_seed_deterministic(self):
+        _, a = self._run(loss_rate=0.05, seed=11)
+        _, b = self._run(loss_rate=0.05, seed=11)
+        assert a.events_processed == b.events_processed
+        assert [s.bytes_received for s in a.flow_stats] == [
+            s.bytes_received for s in b.flow_stats
+        ]
+
+
 class TestSimulation:
     def test_constant_rate_below_capacity_sees_no_queueing(self):
         # 2 Mbps offered on a 10 Mbps link: no queue should build.

@@ -226,6 +226,158 @@ class TestBackendConstruction:
             assert backend.run_batch([]) == []
 
 
+class TestScenarioJobs:
+    """SimJob's third protocol source: a registered scenario cell."""
+
+    def test_from_scenario_matches_direct_cell_run(self):
+        from repro.scenarios import get_scenario, simulation_fingerprint
+
+        job = SimJob.from_scenario("fig4-dumbbell8")
+        cell = get_scenario("fig4-dumbbell8")
+        assert job.duration == cell.duration
+        assert job.seed == cell.seed
+        assert job.spec.n_flows == cell.network.n_flows
+        result = run_sim_job(job)
+        assert simulation_fingerprint(result.result) == simulation_fingerprint(
+            cell.run()
+        )
+
+    def test_mixed_protocol_cell_crosses_the_process_boundary(self):
+        from repro.scenarios import simulation_fingerprint
+
+        # competing-remy-cubic mixes a RemyCC and Cubic — inexpressible as a
+        # single tree or factory; the registry name ships instead.
+        job = SimJob.from_scenario("competing-remy-cubic")
+        [serial] = SerialBackend().run_batch([job])
+        with ProcessPoolBackend(max_workers=2) as backend:
+            [pooled] = backend.run_batch([job])
+        assert simulation_fingerprint(pooled.result) == simulation_fingerprint(
+            serial.result
+        )
+
+    def test_scenario_is_exclusive_with_other_sources(self):
+        spec = NetworkSpec(
+            link_rate_bps=4e6, rtt=0.08, n_flows=2, queue="droptail",
+            buffer_packets=100,
+        )
+        with pytest.raises(ValueError):
+            SimJob(
+                job_id=0,
+                spec=spec,
+                duration=1.0,
+                seed=0,
+                scenario="fig4-dumbbell8",
+                protocol_factory=NewReno,
+            )
+
+    def test_from_scenario_accepts_overrides(self):
+        job = SimJob.from_scenario("fig4-dumbbell8", job_id=3, duration=1.0, seed=9)
+        assert (job.job_id, job.duration, job.seed) == (3, 1.0, 9)
+
+    def test_runtime_registered_cell_survives_the_pool(self):
+        # A cell registered in THIS process does not exist in a fresh
+        # worker's registry; the job must ship the spec itself (and a bare
+        # name must be resolved at submission time, not in the worker).
+        from dataclasses import replace
+        from repro.scenarios import (
+            get_scenario,
+            register_scenario,
+            simulation_fingerprint,
+            unregister_scenario,
+        )
+
+        base = get_scenario("fig4-dumbbell8")
+        custom = replace(base, name="runtime-only-cell", duration=1.0, smoke=False)
+        register_scenario(custom)
+        try:
+            by_spec = SimJob.from_scenario("runtime-only-cell")
+            by_name = replace(by_spec, scenario="runtime-only-cell")
+            [serial] = SerialBackend().run_batch([by_spec])
+            with ProcessPoolBackend(max_workers=1) as backend:
+                [from_spec] = backend.run_batch([by_spec])
+                [from_name] = backend.run_batch([by_name])
+        finally:
+            unregister_scenario("runtime-only-cell")
+        expected = simulation_fingerprint(serial.result)
+        assert simulation_fingerprint(from_spec.result) == expected
+        assert simulation_fingerprint(from_name.result) == expected
+
+    def test_unknown_scenario_name_fails_fast_on_the_pool(self):
+        job = SimJob.from_scenario("fig4-dumbbell8", duration=1.0)
+        from dataclasses import replace
+
+        bad = replace(job, scenario="never-registered")
+        with ProcessPoolBackend(max_workers=1) as backend:
+            with pytest.raises(KeyError, match="never-registered"):
+                backend.run_batch([bad])
+
+
+class TestClosureFactoryFailFast:
+    """Closure factories must fail fast with a clear error on the pool."""
+
+    def _job(self, factory) -> SimJob:
+        spec = NetworkSpec(
+            link_rate_bps=4e6, rtt=0.08, n_flows=2, queue="droptail",
+            buffer_packets=100,
+        )
+        return SimJob(
+            job_id=0, spec=spec, duration=1.0, seed=0, protocol_factory=factory
+        )
+
+    def test_lambda_factory_raises_clear_error(self):
+        job = self._job(lambda: NewReno())
+        with ProcessPoolBackend(max_workers=1) as backend:
+            with pytest.raises(ValueError, match="not.*picklable|picklable"):
+                backend.run_batch([job])
+
+    def test_closure_factory_raises_before_any_execution(self):
+        captured = NewReno  # a closure over a local, not a module-level name
+
+        def factory():
+            return captured()
+
+        job = self._job(factory)
+        with ProcessPoolBackend(max_workers=1) as backend:
+            with pytest.raises(ValueError) as excinfo:
+                backend.run_batch([job])
+        message = str(excinfo.value)
+        # The error must teach the fix, not just restate the pickle failure.
+        assert "SerialBackend" in message
+        assert "tree" in message
+
+    def test_run_scheme_with_closure_scheme_fails_fast(self):
+        from repro.experiments.base import SchemeSpec, run_scheme
+        from repro.traffic.onoff import ByteFlowWorkload
+
+        spec = NetworkSpec(
+            link_rate_bps=4e6, rtt=0.08, n_flows=2, queue="droptail",
+            buffer_packets=100,
+        )
+        scheme = SchemeSpec("closure", lambda: NewReno())
+
+        def workload(_flow_id):
+            return ByteFlowWorkload.exponential(
+                mean_flow_bytes=50e3, mean_off_seconds=0.5
+            )
+
+        with ProcessPoolBackend(max_workers=1) as backend:
+            with pytest.raises(ValueError, match="picklable"):
+                run_scheme(
+                    scheme, spec, workload, n_runs=1, duration=1.0, backend=backend
+                )
+
+    def test_class_factory_still_ships(self):
+        job = self._job(NewReno)
+        with ProcessPoolBackend(max_workers=1) as backend:
+            [result] = backend.run_batch([job])
+        assert result.job_id == 0
+
+    def test_serial_backend_still_accepts_closures(self):
+        job = self._job(lambda: NewReno())
+        [result] = SerialBackend().run_batch([job])
+        assert result.result.events_processed > 0
+
+
 class TestBackendDeterminism:
     """Serial and process-pool execution must be indistinguishable."""
 

@@ -1,0 +1,186 @@
+"""The golden-fingerprint matrix: every registered cell, three contracts.
+
+For each cell of the scenario registry this suite checks:
+
+* **golden** — a serial run at the cell's canonical ``(duration, seed)``
+  reproduces the committed fingerprint in ``tests/golden/fingerprints.json``
+  bit-exactly (regenerate deliberately with
+  ``PYTHONPATH=src python tools/fingerprint.py --update``);
+* **packet-pool parity** — the pooled run is bit-identical to the same run
+  with pooling disabled (the freelist is a pure allocation optimisation, on
+  every queue discipline / drop path the matrix reaches);
+* **backend parity** — a :class:`~repro.runner.ProcessPoolBackend` run of the
+  cell's :class:`~repro.runner.SimJob` matches the serial run, including for
+  cells with mixed protocol sets (which ship as a registry name and are
+  materialized in the worker).
+
+Gating: registry-shape tests always run.  Per-cell simulations run for the
+tier-1 *smoke subset* (one ``smoke=True`` cell per topology) by default; set
+``SCENARIO_MATRIX=full`` (the bench CI job does) to run every cell.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.runner import ProcessPoolBackend, SerialBackend, SimJob
+from repro.scenarios import (
+    all_scenarios,
+    get_scenario,
+    load_golden,
+    scenario_names,
+    simulation_fingerprint,
+    smoke_scenarios,
+    topologies,
+)
+
+FULL_MATRIX = os.environ.get("SCENARIO_MATRIX", "").lower() in {"full", "all", "1"}
+ALL_CELLS = scenario_names()
+SMOKE_CELLS = {spec.name for spec in smoke_scenarios()}
+
+#: Paper figures represented in the registry (acceptance floor of the matrix).
+PAPER_CELLS = {
+    "fig4-dumbbell8",
+    "fig5-dumbbell12",
+    "fig6-convergence",
+    "fig7-lte4",
+    "fig8-lte8",
+    "fig9-att4",
+    "fig10-rtt-fairness",
+    "fig11-prior-1x",
+    "datacenter-dctcp",
+    "competing-remy-cubic",
+}
+
+#: Beyond-paper coverage cells.
+NEW_CELLS = {
+    "dumbbell-asym-rtt",
+    "bursty-onoff-codel",
+    "incast-sfqcodel",
+    "cellular-lossy",
+}
+
+
+def _gate(cell_name: str) -> None:
+    if not FULL_MATRIX and cell_name not in SMOKE_CELLS:
+        pytest.skip(
+            f"{cell_name} runs in the full matrix only (set SCENARIO_MATRIX=full)"
+        )
+
+
+@pytest.fixture(scope="module")
+def pool_backend():
+    """One 2-worker pool shared by every backend-parity case."""
+    with ProcessPoolBackend(max_workers=2) as backend:
+        yield backend
+
+
+# ---------------------------------------------------------------------------
+# Registry shape (always runs)
+# ---------------------------------------------------------------------------
+class TestRegistryShape:
+    def test_at_least_twelve_cells(self):
+        assert len(ALL_CELLS) >= 12
+
+    def test_paper_figures_and_new_cells_registered(self):
+        missing = (PAPER_CELLS | NEW_CELLS) - set(ALL_CELLS)
+        assert not missing, f"cells missing from the registry: {sorted(missing)}"
+        assert len(NEW_CELLS) >= 4
+
+    def test_every_topology_has_exactly_one_smoke_cell(self):
+        # The tier-1 smoke subset is "one cell per topology": the smoke flag
+        # must form an exact system of representatives.
+        by_topology = {spec.topology: 0 for spec in all_scenarios()}
+        for spec in smoke_scenarios():
+            by_topology[spec.topology] += 1
+        assert all(count == 1 for count in by_topology.values()), by_topology
+        assert sorted(by_topology) == topologies()
+
+    def test_golden_covers_exactly_the_registered_cells(self):
+        golden = load_golden()
+        assert set(golden) == set(ALL_CELLS), (
+            "golden fingerprints out of sync with the registry; run "
+            "PYTHONPATH=src python tools/fingerprint.py --update and commit "
+            "the diff (only if the change is deliberate)"
+        )
+
+    def test_cells_pickle_round_trip(self):
+        for spec in all_scenarios():
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone.name == spec.name
+            assert clone.network == spec.network
+
+    def test_get_scenario_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="fig4-dumbbell8"):
+            get_scenario("no-such-cell")
+
+    def test_override_splits_network_and_scenario_fields(self):
+        cell = get_scenario("fig4-dumbbell8")
+        varied = cell.override(n_flows=3, duration=1.0, seed=7)
+        assert varied.network.n_flows == 3
+        assert varied.network.link_rate_bps == cell.network.link_rate_bps
+        assert (varied.duration, varied.seed) == (1.0, 7)
+        # The registered cell itself is untouched.
+        assert get_scenario("fig4-dumbbell8").network.n_flows == 8
+
+    def test_override_workload_supersedes_per_flow_workloads(self):
+        from repro.traffic.onoff import ByteFlowWorkload
+
+        template = ByteFlowWorkload.exponential(
+            mean_flow_bytes=10e3, mean_off_seconds=0.1
+        )
+        # fig6 carries per-flow workloads; a template override must actually
+        # take effect rather than being shadowed by them.
+        varied = get_scenario("fig6-convergence").override(workload=template)
+        assert varied.per_flow_workloads == ()
+        assert all(
+            varied.workload_for(fid) is template
+            for fid in range(varied.network.n_flows)
+        )
+
+    def test_override_composes_explicit_network_with_field_kwargs(self):
+        cell = get_scenario("fig4-dumbbell8")
+        other = get_scenario("bursty-onoff-codel").network
+        varied = cell.override(network=other, n_flows=3)
+        assert varied.network.queue == "codel"  # from the replacement
+        assert varied.network.n_flows == 3  # the kwarg layered on top of it
+
+
+# ---------------------------------------------------------------------------
+# Matrix contracts (smoke subset by default, everything under SCENARIO_MATRIX=full)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("cell_name", ALL_CELLS)
+def test_cell_matches_golden_fingerprint(cell_name):
+    _gate(cell_name)
+    golden = load_golden()
+    fingerprint = simulation_fingerprint(get_scenario(cell_name).run())
+    assert fingerprint == golden[cell_name], (
+        f"{cell_name} no longer reproduces its committed fingerprint; if the "
+        "semantics change is deliberate, regenerate with "
+        "tools/fingerprint.py --update"
+    )
+
+
+@pytest.mark.parametrize("cell_name", ALL_CELLS)
+def test_cell_pooled_matches_unpooled(cell_name):
+    _gate(cell_name)
+    cell = get_scenario(cell_name)
+    pooled = simulation_fingerprint(
+        cell.run(use_packet_pool=True, debug_packet_pool=True)
+    )
+    unpooled = simulation_fingerprint(cell.run(use_packet_pool=False))
+    assert pooled == unpooled
+
+
+@pytest.mark.parametrize("cell_name", ALL_CELLS)
+def test_cell_serial_matches_process_pool(cell_name, pool_backend):
+    _gate(cell_name)
+    job = SimJob.from_scenario(cell_name)
+    [serial] = SerialBackend().run_batch([job])
+    [pooled] = pool_backend.run_batch([job])
+    assert simulation_fingerprint(pooled.result) == simulation_fingerprint(
+        serial.result
+    )

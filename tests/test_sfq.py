@@ -1,6 +1,6 @@
 """Unit tests for stochastic fair queueing with CoDel."""
 
-from repro.netsim.packet import Packet
+from repro.netsim.packet import PacketPool, Packet
 from repro.netsim.sfq import SfqCoDelQueue
 
 
@@ -60,3 +60,104 @@ def test_len_consistent_after_mixed_operations():
         removed += 1
     assert removed + queue.drops == 30
     assert len(queue) == 0
+
+
+# ---------------------------------------------------------------------------
+# dequeue edge cases (pinned ahead of the planned DRR/bucket optimization)
+# ---------------------------------------------------------------------------
+class TestDequeueEdgeCases:
+    """White-box contracts of ``SfqCoDelQueue.dequeue``'s DRR bookkeeping."""
+
+    def _bucket(self, queue: SfqCoDelQueue, flow: int) -> int:
+        return queue._bucket(flow)
+
+    def test_emptied_bucket_is_retired_and_rearmed_on_next_enqueue(self):
+        queue = SfqCoDelQueue(n_queues=16)
+        bucket0 = self._bucket(queue, 0)
+        bucket1 = self._bucket(queue, 1)
+        assert bucket0 != bucket1
+        queue.enqueue(_packet(0, 0), 0.0)
+        queue.enqueue(_packet(1, 0), 0.0)
+        queue.enqueue(_packet(1, 1), 0.0)
+
+        # Flow 0's bucket empties on its first service: it must leave the
+        # active rotation (not be revisited as an empty head) while flow 1's
+        # bucket keeps rotating.
+        assert queue.dequeue(0.0).flow_id == 0
+        assert queue._active == [bucket1]
+        assert queue.dequeue(0.0).flow_id == 1
+        assert queue.dequeue(0.0).flow_id == 1
+        assert queue.dequeue(0.0) is None
+        assert queue._active == []
+
+        # A retired bucket going active again starts from a fresh quantum —
+        # no deficit (positive or zero) carries across an idle period.
+        queue.enqueue(_packet(0, 1), 1.0)
+        assert queue._active == [bucket0]
+        assert queue._deficit[bucket0] == queue.quantum_bytes
+
+    def test_quantum_carryover_with_undersized_quantum(self):
+        # 1000-byte quantum vs 1500-byte packets: the first service tops the
+        # deficit up once (1000 -> 2000 -> spend 1500 = 500 left), the second
+        # service spends the carryover (500 -> 1500 -> 0), alternating — the
+        # byte-deficit arithmetic the planned optimization must preserve.
+        queue = SfqCoDelQueue(n_queues=8, quantum_bytes=1000)
+        bucket = self._bucket(queue, 0)
+        for seq in range(4):
+            queue.enqueue(_packet(0, seq), 0.0)
+
+        # Service 1: 1000 -> top up 2000 -> spend 1500 = 500 carryover.
+        assert queue.dequeue(0.0).seq == 0
+        assert queue._deficit[bucket] == 500
+        # Service 2: 500 -> top up 1500 -> spend 1500 = 0; the re-append
+        # tops a zero deficit back up by exactly one quantum.
+        assert queue.dequeue(0.0).seq == 1
+        assert queue._deficit[bucket] == 1000
+        # Service 3 repeats the cycle: the 500-byte carryover alternates.
+        assert queue.dequeue(0.0).seq == 2
+        assert queue._deficit[bucket] == 500
+
+    def test_codel_in_dequeue_drops_release_to_freelist(self):
+        # Packets CoDel drops from *inside* dequeue must go back to the
+        # packet pool (drop-sink contract), and the shared totals must track
+        # what the sub-queue consumed.
+        pool = PacketPool(debug=True)
+        queue = SfqCoDelQueue(n_queues=8, target=0.005, interval=0.1)
+        n_packets = 12
+        for seq in range(n_packets):
+            queue.enqueue(pool.data(0, seq, 1500, 0.0), now=0.0)
+
+        delivered = []
+        now = 1.0
+        while True:
+            packet = queue.dequeue(now)
+            if packet is None:
+                break
+            delivered.append(packet)
+            now += 0.05  # stay far above target so CoDel keeps dropping
+
+        assert queue.drops > 0, "the in-dequeue drop path never fired"
+        assert len(delivered) + queue.drops == n_packets
+        assert len(queue) == 0
+        assert queue.bytes_queued() == 0
+        # Dropped packets are back in the freelist; survivors are still out.
+        pool.check_leaks(expected_in_use=len(delivered))
+        for packet in delivered:
+            packet.release()
+        pool.check_leaks(expected_in_use=0)
+
+    def test_stale_active_bucket_is_skipped_and_retired(self):
+        # The DRR loop's rounds bound exists to survive a rotation entry
+        # whose sub-queue is (unexpectedly) empty.  That defensive path must
+        # retire the stale bucket — pop it, zero its deficit — and still hand
+        # out the next bucket's packet in the same call.
+        queue = SfqCoDelQueue(n_queues=16)
+        ghost = self._bucket(queue, 2)
+        queue.enqueue(_packet(1, 0), 0.0)
+        queue._active.insert(0, ghost)
+        queue._deficit[ghost] = 4444
+
+        packet = queue.dequeue(0.0)
+        assert packet is not None and packet.flow_id == 1
+        assert ghost not in queue._active
+        assert queue._deficit[ghost] == 0

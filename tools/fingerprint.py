@@ -1,92 +1,65 @@
-"""Bit-exact determinism fingerprint of the simulator across representative cases.
+"""Bit-exact determinism fingerprints, driven by the scenario registry.
 
-Run with ``PYTHONPATH=src python tools/fingerprint.py out.json`` before and
-after a hot-path change; the two JSON files must be identical if the change
-preserved simulation semantics (tentpole requirement of the flattened hot
-path: same-seed serial runs stay bit-identical).
+Two jobs, one tool:
+
+* **Golden maintenance** — ``--update`` reruns every registered scenario cell
+  at its canonical ``(duration, seed)`` and rewrites
+  ``tests/golden/fingerprints.json``, the file
+  ``tests/test_scenario_matrix.py`` compares against.  Do this only when a
+  fingerprint change is *legitimate* (a deliberate semantics change, a new
+  cell) — never to paper over an unexplained diff.  Review the resulting
+  JSON diff cell by cell: a perf-only PR must produce none.
+
+* **Before/after comparison** — run with an output path (no ``--update``)
+  before and after a hot-path change; the two files must be identical if the
+  change preserved simulation semantics.  Beyond the registry cells this
+  mode also covers training-mode evaluation, a split rule tree exercised
+  through the octree descent, and a figure-style ``run_schemes`` batch —
+  paths the cell matrix alone does not reach.
+
+Usage::
+
+    PYTHONPATH=src python tools/fingerprint.py out.json          # full snapshot
+    PYTHONPATH=src python tools/fingerprint.py --update          # refresh golden
+    PYTHONPATH=src python tools/fingerprint.py --update --cells fig4-dumbbell8
+    # (repeat --cells to update several cells; merges into the golden file)
 """
 
+import argparse
 import json
 import sys
 
-from repro.core.config import ConfigRange, ParameterRange
-from repro.core.evaluator import Evaluator, EvaluatorSettings
-from repro.core.objective import Objective
-from repro.core.pretrained import pretrained_remycc
-from repro.core.whisker_tree import WhiskerTree
-from repro.netsim.network import NetworkSpec
-from repro.netsim.sender import AlwaysOnWorkload
-from repro.netsim.simulator import Simulation
-from repro.protocols.cubic import Cubic
-from repro.protocols.newreno import NewReno
-from repro.protocols.remycc import RemyCCProtocol
-from repro.protocols.vegas import Vegas
-from repro.protocols.xcp import XCP
-from repro.traffic.onoff import ByteFlowWorkload
+from repro.scenarios import (
+    cell_fingerprint,
+    dump_golden,
+    iter_scenarios,
+    simulation_fingerprint,
+)
 
 
-def flow_fp(stats):
-    return [
-        stats.flow_id,
-        stats.bytes_received,
-        stats.packets_received,
-        stats.packets_sent,
-        stats.retransmissions,
-        stats.losses_detected,
-        stats.timeouts,
-        repr(stats.on_time),
-        repr(stats.queue_delay_sum),
-        stats.queue_delay_count,
-        repr(stats.rtt_sum),
-        stats.rtt_count,
-        repr(stats.max_queue_delay),
-    ]
+def cells_fingerprint(names=None) -> dict:
+    """Fingerprint of every (or the named subset of) registered cells."""
+    return {cell.name: cell_fingerprint(cell) for cell in iter_scenarios(names)}
 
 
-def sim_fp(result):
-    return {
-        "events": result.events_processed,
-        "drops": result.queue_drops,
-        "marks": result.queue_marks,
-        "flows": [flow_fp(s) for s in result.flow_stats],
-    }
+def extras_fingerprint() -> dict:
+    """Determinism cases beyond the scenario matrix (training, split trees,
+    the figure-harness batch path)."""
+    from repro.core.config import ConfigRange, ParameterRange
+    from repro.core.evaluator import Evaluator, EvaluatorSettings
+    from repro.core.memory import Memory
+    from repro.core.objective import Objective
+    from repro.core.pretrained import pretrained_remycc
+    from repro.core.whisker_tree import WhiskerTree
+    from repro.experiments.base import SchemeSpec
+    from repro.experiments.dumbbell import run_figure4
+    from repro.netsim.network import NetworkSpec
+    from repro.netsim.simulator import Simulation
+    from repro.protocols.newreno import NewReno
+    from repro.protocols.remycc import RemyCCProtocol
+    from repro.protocols.vegas import Vegas
 
-
-def run_case(queue, protos, workloads, duration=3.0, seed=7, n=4):
-    spec = NetworkSpec(
-        link_rate_bps=10e6, rtt=0.05, n_flows=n, queue=queue, buffer_packets=120
-    )
-    sim = Simulation(spec, protos(n), workloads(n), duration=duration, seed=seed)
-    return sim_fp(sim.run())
-
-
-def main():
     fp = {}
-    always_on = lambda n: [AlwaysOnWorkload() for _ in range(n)]
-    onoff = lambda n: [
-        ByteFlowWorkload.exponential(mean_flow_bytes=60e3, mean_off_seconds=0.3)
-        for _ in range(n)
-    ]
-    tree = pretrained_remycc("delta1")
-    cases = {
-        "newreno-droptail": ("droptail", lambda n: [NewReno() for _ in range(n)], always_on),
-        "newreno-codel": ("codel", lambda n: [NewReno() for _ in range(n)], always_on),
-        "cubic-sfqcodel": ("sfqcodel", lambda n: [Cubic() for _ in range(n)], always_on),
-        "vegas-red": ("red", lambda n: [Vegas() for _ in range(n)], always_on),
-        "xcp": ("xcp", lambda n: [XCP() for _ in range(n)], always_on),
-        "remy-droptail-onoff": (
-            "droptail",
-            lambda n: [RemyCCProtocol(tree) for _ in range(n)],
-            onoff,
-        ),
-        "newreno-droptail-onoff": (
-            "droptail",
-            lambda n: [NewReno() for _ in range(n)],
-            onoff,
-        ),
-    }
-    for name, (queue, protos, workloads) in cases.items():
-        fp[name] = run_case(queue, protos, workloads)
 
     # Training-mode evaluation: scores and per-whisker use counts.
     evaluator = Evaluator(
@@ -109,8 +82,6 @@ def main():
     }
 
     # A split tree exercised through the octree descent.
-    from repro.core.memory import Memory
-
     split_tree = pretrained_remycc("delta10")
     w = split_tree.find(Memory(1.0, 1.0, 1.2))
     for i in range(40):
@@ -126,13 +97,11 @@ def main():
         duration=3.0,
         seed=3,
     )
-    fp["remy-split-tree"] = sim_fp(sim.run())
+    fp["remy-split-tree"] = simulation_fingerprint(sim.run())
     fp["remy-split-tree"]["use_counts"] = [w.use_count for w in split_tree.whiskers()]
 
-    # Figure-style harness (covers run_scheme / batch sharding).
-    from repro.experiments.dumbbell import run_figure4
-    from repro.experiments.base import SchemeSpec
-
+    # Figure-style harness (covers run_scheme / batch sharding / the
+    # scenario-resolved workload factory).
     result = run_figure4(
         n_flows=3,
         n_runs=2,
@@ -146,15 +115,55 @@ def main():
         }
         for name, summary in result.summaries.items()
     }
+    return fp
 
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("out", nargs="?", help="write the snapshot to this path")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="regenerate the committed golden file (tests/golden/fingerprints.json)",
+    )
+    parser.add_argument(
+        "--cells",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this registered cell (repeatable; default: all). "
+        "With --update, the named fingerprints are merged into the existing "
+        "golden file rather than replacing it",
+    )
+    args = parser.parse_args()
+
+    if args.update:
+        cells = cells_fingerprint(args.cells)
+        if args.cells is not None:
+            # Partial update: merge into the existing golden set.
+            from repro.scenarios import load_golden
+
+            merged = load_golden()
+            merged.update(cells)
+            cells = merged
+        path = dump_golden(cells)
+        print(f"wrote {path} ({len(cells)} cells)")
+        return 0
+
+    fp = {"cells": cells_fingerprint(args.cells)}
+    if args.cells is None:
+        fp.update(extras_fingerprint())
     out = json.dumps(fp, indent=1, sort_keys=True)
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], "w") as fh:
+    if args.out:
+        with open(args.out, "w") as fh:
             fh.write(out)
-        print(f"wrote {sys.argv[1]} ({len(out)} bytes)")
+        print(f"wrote {args.out} ({len(out)} bytes)")
     else:
         print(out)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
