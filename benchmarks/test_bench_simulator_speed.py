@@ -6,7 +6,9 @@ determines how far the paper-scale parameters can be pushed.  The harness
 measures:
 
 * the queue disciplines' overhead under NewReno (the ablation DESIGN.md
-  calls out for the router-assisted baselines), and
+  calls out for the router-assisted baselines),
+* a two-hop path with a congestible reverse hop (multi-hop dispatch plus
+  pooled ACK routing through `PathNetwork`), and
 * RemyCC senders over DropTail — the whisker-lookup hot path (octant
   descent + last-leaf cache), in both execution and training mode.
 
@@ -35,23 +37,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.scenarios import get_scenario
+from repro.scenarios import BENCH_CASE_SCENARIOS, get_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Measuring duration (simulated seconds) for every case.
 BENCH_DURATION = 5.0
 
-#: case label -> registered scenario cell.
-CASE_SCENARIOS = {
-    "newreno/droptail": "bench-newreno-droptail",
-    "newreno/codel": "bench-newreno-codel",
-    "newreno/sfqcodel": "bench-newreno-sfqcodel",
-    "newreno/red": "bench-newreno-red",
-    "newreno/xcp": "bench-newreno-xcp",
-    "remy/droptail": "bench-remy-droptail",
-    "remy-training/droptail": "bench-remy-training",
-}
+#: case label -> registered scenario cell (shared with tools/profile_hotpath.py).
+CASE_SCENARIOS = BENCH_CASE_SCENARIOS
 
 #: Accumulates ``case -> measurement`` while the module's tests run; flushed
 #: to the trajectory file by the module-scoped fixture below.

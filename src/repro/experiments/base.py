@@ -21,20 +21,22 @@ figure harness resolves its base cell by name and applies its paper-scale
 knobs via :meth:`~repro.scenarios.spec.ScenarioSpec.override`, so the
 topology/queue/workload definitions live in exactly one place.
 :func:`run_scenario_schemes` is the shorthand for "run these schemes over
-that registered cell".
+that registered cell"; :func:`run_scenario_sweep` batches a whole
+``cell × scheme × seed`` grid (collision-free ``mix_seed`` seeding) in one
+backend submission — the runner behind the multi-bottleneck path matrix.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
 from repro.analysis.frontier import efficient_frontier
 from repro.analysis.summary import SchemeSummary, format_summary_table
 from repro.core.pretrained import pretrained_remycc
 from repro.core.whisker_tree import WhiskerTree
-from repro.netsim.network import NetworkSpec
 from repro.netsim.sender import Workload
+from repro.netsim.simulator import TopologySpec
 from repro.protocols.base import CongestionControl
 from repro.protocols.compound import CompoundTCP
 from repro.protocols.cubic import Cubic
@@ -43,7 +45,8 @@ from repro.protocols.remycc import RemyCCProtocol
 from repro.protocols.vegas import Vegas
 from repro.protocols.xcp import XCP
 from repro.runner import ExecutionBackend, SerialBackend, SimJob
-from repro.scenarios import ScenarioSpec, get_scenario
+from repro.runner.jobs import mix_seed
+from repro.scenarios import ScenarioSpec, get_scenario, iter_scenarios
 
 ProtocolFactory = Callable[[], CongestionControl]
 WorkloadFactory = Callable[[int], Workload]
@@ -104,22 +107,27 @@ def standard_schemes(
 
 def _scheme_jobs(
     scheme: SchemeSpec,
-    spec: NetworkSpec,
+    spec: TopologySpec,
     workload_factory: WorkloadFactory,
     n_runs: int,
     duration: float,
     base_seed: int,
     max_events: Optional[int],
     first_job_id: int,
+    seed_for_run: Optional[Callable[[int, int], int]] = None,
 ) -> list[SimJob]:
     """Build the ``n_runs`` jobs for one scheme over a scenario.
 
     Seeds depend only on ``(base_seed, run_index)`` — never on the scheme or
     on batch position — so every scheme of a figure is compared on identical
     packet-level randomness and batching jobs across schemes cannot change
-    any result.
+    any result.  ``seed_for_run`` customizes the derivation (the sweep runner
+    passes a ``mix_seed``-based one; the default keeps the recorded figures'
+    historical ``base_seed * 10_007 + run_index`` arithmetic bit-identical).
     """
-    scenario_spec = replace(spec, queue=scheme.queue) if scheme.queue is not None else spec
+    scenario_spec = spec.with_queue(scheme.queue) if scheme.queue is not None else spec
+    if seed_for_run is None:
+        seed_for_run = lambda base, run: base * 10_007 + run  # noqa: E731
     jobs = []
     for run_index in range(n_runs):
         workloads = tuple(
@@ -129,7 +137,7 @@ def _scheme_jobs(
             job_id=first_job_id + run_index,
             spec=scenario_spec,
             duration=duration,
-            seed=base_seed * 10_007 + run_index,
+            seed=seed_for_run(base_seed, run_index),
             workloads=workloads,
             max_events=max_events,
         )
@@ -142,7 +150,7 @@ def _scheme_jobs(
 
 def run_scheme(
     scheme: SchemeSpec,
-    spec: NetworkSpec,
+    spec: TopologySpec,
     workload_factory: WorkloadFactory,
     n_runs: int = 4,
     duration: float = 30.0,
@@ -169,7 +177,7 @@ def run_scheme(
 
 def run_schemes(
     schemes: Sequence[SchemeSpec],
-    spec: NetworkSpec,
+    spec: TopologySpec,
     workload_factory: WorkloadFactory,
     n_runs: int = 4,
     duration: float = 30.0,
@@ -253,6 +261,79 @@ def run_scenario_schemes(
         max_events=max_events,
         backend=backend,
     )
+
+
+def sweep_seed(cell_name: str, base_seed: int, run_index: int) -> int:
+    """Collision-free per-run seed for the scenario sweep grid.
+
+    ``mix_seed`` hashing over ``(cell, base seed, run)``: distinct cells
+    sharing a base seed — or distinct ``(base_seed, run_index)`` pairs whose
+    arithmetic like ``base * 10_007 + run`` would coincide — never replay
+    one another's packet schedules.  Scheme-independent by construction, so
+    every scheme of a cell is compared on identical randomness.
+    """
+    return mix_seed("scenario-sweep", cell_name, base_seed, run_index)
+
+
+def run_scenario_sweep(
+    scenarios: Optional[Sequence[Union[str, ScenarioSpec]]],
+    schemes: Sequence[SchemeSpec],
+    n_runs: int = 4,
+    duration: Optional[float] = None,
+    max_events: Optional[int] = None,
+    backend: Optional[ExecutionBackend] = None,
+) -> dict[str, list[SchemeSummary]]:
+    """Run a ``cell × scheme × seed`` grid as ONE backend batch.
+
+    The sweep runner behind the multi-bottleneck/path matrix: every
+    ``(cell, scheme, run)`` simulation of the grid is independent, so the
+    whole grid ships to the backend at once and a process pool stays
+    saturated across cells, not just within one.  ``scenarios`` accepts
+    registered names and/or explicit specs; ``None`` sweeps every registered
+    cell.  Returns ``{cell name: [summary per scheme]}``.
+
+    Per-run seeds come from :func:`sweep_seed` — the collision-free
+    ``mix_seed`` derivation ROADMAP deferred for the recorded figures; the
+    figure harnesses keep their historical ``base_seed * 10_007 + run``
+    arithmetic so committed outputs stay bit-identical.
+    """
+    if n_runs <= 0:
+        raise ValueError("n_runs must be positive")
+    cells = [resolve_scenario(s) for s in scenarios] if scenarios is not None else iter_scenarios()
+    jobs: list[SimJob] = []
+    boundaries: list[tuple[str, str, int]] = []  # (cell, scheme, end index)
+    for cell in cells:
+        spec = cell.network_spec()
+        workload_factory = cell.workload_factory()
+        cell_duration = cell.duration if duration is None else duration
+        seed_for_run = lambda base, run, _name=cell.name: sweep_seed(_name, base, run)  # noqa: E731
+        for scheme in schemes:
+            jobs.extend(
+                _scheme_jobs(
+                    scheme,
+                    spec,
+                    workload_factory,
+                    n_runs,
+                    cell_duration,
+                    cell.seed,
+                    max_events,
+                    first_job_id=len(jobs),
+                    seed_for_run=seed_for_run,
+                )
+            )
+            boundaries.append((cell.name, scheme.name, len(jobs)))
+    if backend is None:
+        backend = SerialBackend()
+    results = backend.run_batch(jobs)
+    sweep: dict[str, list[SchemeSummary]] = {}
+    start = 0
+    for cell_name, scheme_name, end in boundaries:
+        summary = SchemeSummary(scheme_name)
+        for job_result in results[start:end]:
+            summary.add_result(job_result.result)
+        sweep.setdefault(cell_name, []).append(summary)
+        start = end
+    return sweep
 
 
 @dataclass

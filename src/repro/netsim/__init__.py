@@ -12,8 +12,9 @@ played by ns-2 in the original work).  It provides:
   :mod:`repro.netsim.sfq`),
 * a reliable-transport sender/receiver harness that hosts any congestion
   control module (:mod:`repro.netsim.sender`, :mod:`repro.netsim.receiver`),
-* topology builders for the dumbbell and datacenter scenarios
-  (:mod:`repro.netsim.network`), and
+* topology builders: the single-bottleneck dumbbell
+  (:mod:`repro.netsim.network`) and multi-bottleneck paths with congestible
+  reverse directions (:mod:`repro.netsim.path`), and
 * the simulation driver plus per-flow statistics
   (:mod:`repro.netsim.simulator`, :mod:`repro.netsim.stats`).
 """
@@ -26,8 +27,9 @@ from repro.netsim.aqm import REDQueue, CoDelQueue
 from repro.netsim.sfq import SfqCoDelQueue
 from repro.netsim.sender import Sender
 from repro.netsim.receiver import Receiver
-from repro.netsim.network import DumbbellNetwork, NetworkSpec
-from repro.netsim.simulator import Simulation, SimulationResult
+from repro.netsim.network import DumbbellNetwork, NetworkSpec, build_queue
+from repro.netsim.path import LinkSpec, PathNetwork, PathSpec
+from repro.netsim.simulator import Simulation, SimulationResult, TopologySpec
 from repro.netsim.stats import FlowStats
 
 __all__ = [
@@ -45,7 +47,12 @@ __all__ = [
     "Receiver",
     "DumbbellNetwork",
     "NetworkSpec",
+    "build_queue",
+    "LinkSpec",
+    "PathNetwork",
+    "PathSpec",
     "Simulation",
     "SimulationResult",
+    "TopologySpec",
     "FlowStats",
 ]

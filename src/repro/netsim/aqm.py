@@ -33,6 +33,14 @@ class REDQueue(QueueDiscipline):
 
     When ``ecn=True`` packets from ECN-capable flows are marked instead of
     dropped; non-ECN packets are dropped.
+
+    Idle decay follows Floyd & Jacobson §4: while the queue sits empty the
+    average is decayed as if ``m`` small packets had been transmitted, with
+    ``m`` the idle time divided by ``idle_decay_seconds`` (the typical packet
+    transmission time — :meth:`NetworkSpec.make_queue` passes one MSS at the
+    link rate).  The decay is applied lazily, at the next arrival to an empty
+    queue, so it is a function of *elapsed time* rather than of how often the
+    link happened to poll an empty queue.
     """
 
     def __init__(
@@ -45,12 +53,15 @@ class REDQueue(QueueDiscipline):
         ecn: bool = True,
         dctcp_mode: bool = False,
         rng: Optional[random.Random] = None,
+        idle_decay_seconds: float = 0.001,
     ):
         super().__init__()
         if capacity_packets <= 0:
             raise ValueError("capacity must be positive")
         if min_thresh < 0 or max_thresh <= min_thresh:
             raise ValueError("need 0 <= min_thresh < max_thresh")
+        if idle_decay_seconds <= 0:
+            raise ValueError("idle_decay_seconds must be positive")
         self.capacity_packets = capacity_packets
         self.min_thresh = min_thresh
         self.max_thresh = max_thresh
@@ -58,10 +69,18 @@ class REDQueue(QueueDiscipline):
         self.weight = weight
         self.ecn = ecn
         self.dctcp_mode = dctcp_mode
+        self.idle_decay_seconds = idle_decay_seconds
         self._rng = rng if rng is not None else random.Random(0)
         self._queue: deque[Packet] = deque()
         self._bytes = 0
         self._avg = 0.0
+        #: Start of the yet-undecayed idle span.  Consulted only while the
+        #: queue is empty; advanced to ``now`` whenever decay is applied (the
+        #: decay composes multiplicatively, so an idle span may be consumed
+        #: in several increments — e.g. across arrivals that are themselves
+        #: early-dropped and leave the queue idle) and rewound by ``dequeue``
+        #: when the queue drains.
+        self._idle_since = 0.0
         self._count_since_mark = -1
 
     def _mark_or_drop(self, packet: Packet, now: float) -> bool:
@@ -88,7 +107,19 @@ class REDQueue(QueueDiscipline):
             return False
 
         instantaneous = len(self._queue)
-        self._avg = (1 - self.weight) * self._avg + self.weight * instantaneous
+        if instantaneous:
+            self._avg = (1 - self.weight) * self._avg + self.weight * instantaneous
+        elif now > self._idle_since:
+            # Arrival to an empty queue: decay the average for the idle span
+            # (Floyd & Jacobson's "m small packets"), not by one EWMA step
+            # per call the link happened to make while idle.  Advance the
+            # idle mark so the span is never decayed twice — and so that if
+            # THIS packet is dropped below (leaving the queue still idle),
+            # the next arrival keeps decaying from here instead of losing
+            # the idle clock entirely.
+            m = (now - self._idle_since) / self.idle_decay_seconds
+            self._avg *= (1.0 - self.weight) ** m
+            self._idle_since = now
 
         congested = False
         if self.dctcp_mode:
@@ -119,13 +150,12 @@ class REDQueue(QueueDiscipline):
 
     def dequeue(self, now: float) -> Optional[Packet]:
         if not self._queue:
-            # RED decays the average toward zero while idle; a simple reset
-            # keeps behaviour sane without tracking idle durations.
-            self._avg = (1 - self.weight) * self._avg
             return None
         packet = self._queue.popleft()
         self._bytes -= packet.size_bytes
         self.dequeues += 1
+        if not self._queue:
+            self._idle_since = now
         return packet
 
     def __len__(self) -> int:

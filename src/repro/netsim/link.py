@@ -41,7 +41,10 @@ class LinkBase:
         #: from flow id to a :class:`~repro.netsim.stats.FlowStats` whose
         #: queueing-delay counters the link updates inline (two callback
         #: hops per transmitted packet otherwise).  Takes precedence over
-        #: ``delay_observer`` when set.
+        #: ``delay_observer`` when set.  The map may be shared by several
+        #: links — a multi-hop :class:`~repro.netsim.path.PathNetwork`
+        #: attaches one map to every forward hop, so a flow accumulates one
+        #: queueing-delay sample per hop traversed.
         self.delay_stats: Optional[dict] = None
         self.packets_delivered = 0
         self.bytes_delivered = 0

@@ -11,7 +11,7 @@ single-bottleneck evaluation topologies.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Callable, Optional, Sequence, Union
 
@@ -29,6 +29,98 @@ QueueFactory = Callable[[], QueueDiscipline]
 
 #: Built-in queue discipline names accepted by :class:`NetworkSpec`.
 QUEUE_KINDS = ("droptail", "infinite", "codel", "sfqcodel", "red", "red-dctcp", "xcp")
+
+
+def validate_delivery_trace(delivery_trace: Sequence[float], what: str) -> None:
+    """Fail fast on malformed delivery traces (shared by every spec kind).
+
+    An empty trace used to slip through construction and crash later with an
+    ``IndexError`` inside ``effective_rate_bps``; a decreasing one failed
+    only deep inside :class:`~repro.netsim.link.TraceDrivenLink`.
+    """
+    times = list(delivery_trace)
+    if not times:
+        raise ValueError(
+            "delivery_trace must contain at least one delivery instant "
+            f"(got an empty trace); omit it for a constant-rate {what}"
+        )
+    for i, (a, b) in enumerate(zip(times, times[1:])):
+        if b < a:
+            raise ValueError(
+                "delivery_trace timestamps must be non-decreasing: "
+                f"entry {i + 1} ({b!r}) precedes entry {i} ({a!r}); "
+                "delivery traces are cumulative instants, not "
+                "inter-delivery gaps"
+            )
+
+
+def build_queue(
+    queue: Union[str, QueueFactory],
+    *,
+    buffer_packets: int,
+    rng: Optional[random.Random] = None,
+    codel_target: float = 0.005,
+    codel_interval: float = 0.100,
+    red_min_thresh: float = 20.0,
+    red_max_thresh: float = 60.0,
+    dctcp_marking_threshold: float = 65.0,
+    red_idle_decay_seconds: float = 0.001,
+    xcp_rate_bps: float = 10e6,
+    xcp_mean_rtt: float = 0.05,
+) -> QueueDiscipline:
+    """Instantiate a queue discipline from a kind name (or factory).
+
+    The single construction path shared by :class:`NetworkSpec` (dumbbell
+    bottleneck) and :class:`~repro.netsim.path.LinkSpec` (each hop of a
+    multi-bottleneck path), so a queue kind behaves identically wherever it
+    appears in a topology.
+    """
+    if callable(queue):
+        return queue()
+    if queue == "droptail":
+        return DropTailQueue(capacity_packets=buffer_packets)
+    if queue == "infinite":
+        return InfiniteQueue()
+    if queue == "codel":
+        return CoDelQueue(
+            capacity_packets=buffer_packets,
+            target=codel_target,
+            interval=codel_interval,
+        )
+    if queue == "sfqcodel":
+        return SfqCoDelQueue(
+            capacity_packets=buffer_packets,
+            target=codel_target,
+            interval=codel_interval,
+        )
+    if queue == "red":
+        return REDQueue(
+            capacity_packets=buffer_packets,
+            min_thresh=red_min_thresh,
+            max_thresh=red_max_thresh,
+            rng=rng,
+            idle_decay_seconds=red_idle_decay_seconds,
+        )
+    if queue == "red-dctcp":
+        return REDQueue(
+            capacity_packets=buffer_packets,
+            min_thresh=dctcp_marking_threshold,
+            max_thresh=dctcp_marking_threshold + 1,
+            dctcp_mode=True,
+            ecn=True,
+            rng=rng,
+            idle_decay_seconds=red_idle_decay_seconds,
+        )
+    if queue == "xcp":
+        # Imported lazily: protocols depend on netsim, not the reverse.
+        from repro.protocols.xcp import XCPRouterQueue
+
+        return XCPRouterQueue(
+            capacity_packets=buffer_packets,
+            link_rate_bps=xcp_rate_bps,
+            control_interval=max(xcp_mean_rtt, 0.01),
+        )
+    raise ValueError(f"unknown queue kind {queue!r}; expected one of {QUEUE_KINDS}")
 
 
 @dataclass
@@ -89,6 +181,8 @@ class NetworkSpec:
             raise ValueError("loss_rate must be in [0, 1)")
         if isinstance(self.queue, str) and self.queue not in QUEUE_KINDS:
             raise ValueError(f"unknown queue kind {self.queue!r}; expected one of {QUEUE_KINDS}")
+        if self.delivery_trace is not None:
+            validate_delivery_trace(self.delivery_trace, "bottleneck")
 
     def rtt_for_flow(self, flow_id: int) -> float:
         """Baseline RTT for a given flow (supports per-flow RTT sequences)."""
@@ -105,58 +199,28 @@ class NetworkSpec:
         """Bandwidth-delay product in packets (useful for sanity checks)."""
         return self.link_rate_bps * self.rtt_for_flow(flow_id) / (self.mss_bytes * 8)
 
+    def mean_rtt(self) -> float:
+        """Mean baseline RTT across the spec's flows (XCP's control interval)."""
+        if isinstance(self.rtt, (int, float)):
+            return float(self.rtt)
+        rtts = list(self.rtt)
+        return sum(rtts) / len(rtts)
+
     def make_queue(self, rng: Optional[random.Random] = None) -> QueueDiscipline:
         """Instantiate the configured queue discipline."""
-        if callable(self.queue):
-            return self.queue()
-        kind = self.queue
-        if kind == "droptail":
-            return DropTailQueue(capacity_packets=self.buffer_packets)
-        if kind == "infinite":
-            return InfiniteQueue()
-        if kind == "codel":
-            return CoDelQueue(
-                capacity_packets=self.buffer_packets,
-                target=self.codel_target,
-                interval=self.codel_interval,
-            )
-        if kind == "sfqcodel":
-            return SfqCoDelQueue(
-                capacity_packets=self.buffer_packets,
-                target=self.codel_target,
-                interval=self.codel_interval,
-            )
-        if kind == "red":
-            return REDQueue(
-                capacity_packets=self.buffer_packets,
-                min_thresh=self.red_min_thresh,
-                max_thresh=self.red_max_thresh,
-                rng=rng,
-            )
-        if kind == "red-dctcp":
-            return REDQueue(
-                capacity_packets=self.buffer_packets,
-                min_thresh=self.dctcp_marking_threshold,
-                max_thresh=self.dctcp_marking_threshold + 1,
-                dctcp_mode=True,
-                ecn=True,
-                rng=rng,
-            )
-        if kind == "xcp":
-            # Imported lazily: protocols depend on netsim, not the reverse.
-            from repro.protocols.xcp import XCPRouterQueue
-
-            mean_rtt = (
-                self.rtt_for_flow(0)
-                if isinstance(self.rtt, (int, float))
-                else sum(self.rtt) / len(list(self.rtt))
-            )
-            return XCPRouterQueue(
-                capacity_packets=self.buffer_packets,
-                link_rate_bps=self.effective_rate_bps(),
-                control_interval=max(mean_rtt, 0.01),
-            )
-        raise ValueError(f"unknown queue kind {kind!r}")
+        return build_queue(
+            self.queue,
+            buffer_packets=self.buffer_packets,
+            rng=rng,
+            codel_target=self.codel_target,
+            codel_interval=self.codel_interval,
+            red_min_thresh=self.red_min_thresh,
+            red_max_thresh=self.red_max_thresh,
+            dctcp_marking_threshold=self.dctcp_marking_threshold,
+            red_idle_decay_seconds=self.mss_bytes * 8 / self.effective_rate_bps(),
+            xcp_rate_bps=self.effective_rate_bps(),
+            xcp_mean_rtt=self.mean_rtt(),
+        )
 
     def effective_rate_bps(self) -> float:
         """Bottleneck rate: the constant rate, or the trace's long-term mean."""
@@ -167,6 +231,51 @@ class NetworkSpec:
         if span <= 0:
             return self.link_rate_bps
         return (len(times) - 1) * self.mss_bytes * 8 / span
+
+    # -- generalisation hooks ---------------------------------------------------
+    def with_queue(self, queue: Union[str, QueueFactory]) -> "NetworkSpec":
+        """A copy with the bottleneck queue discipline replaced (the hook the
+        scheme runner uses; :class:`~repro.netsim.path.PathSpec` offers the
+        same method, applied to every forward hop)."""
+        return replace(self, queue=queue)
+
+    def to_path_spec(self) -> "PathSpec":
+        """This dumbbell as a single-hop :class:`~repro.netsim.path.PathSpec`.
+
+        The conversion is exact: running the resulting path spec through
+        :class:`~repro.netsim.path.PathNetwork` reproduces the
+        :class:`DumbbellNetwork` run bit-identically (pinned by
+        ``tests/test_path.py``) — the dumbbell *is* the one-forward-hop,
+        ideal-reverse special case of a path.
+        """
+        from repro.netsim.path import LinkSpec, PathSpec
+
+        return PathSpec(
+            forward=(
+                LinkSpec(
+                    rate_bps=self.link_rate_bps,
+                    queue=self.queue,
+                    buffer_packets=self.buffer_packets,
+                    delivery_trace=self.delivery_trace,
+                    loss_rate=self.loss_rate,
+                    codel_target=self.codel_target,
+                    codel_interval=self.codel_interval,
+                    red_min_thresh=self.red_min_thresh,
+                    red_max_thresh=self.red_max_thresh,
+                    dctcp_marking_threshold=self.dctcp_marking_threshold,
+                    name="bottleneck",
+                ),
+            ),
+            rtt=self.rtt,
+            n_flows=self.n_flows,
+            mss_bytes=self.mss_bytes,
+        )
+
+    def build_network(
+        self, scheduler: EventScheduler, rng: Optional[random.Random] = None
+    ) -> "DumbbellNetwork":
+        """Materialize the topology (the dumbbell fast path)."""
+        return DumbbellNetwork(scheduler, self, rng=rng)
 
 
 @dataclass
@@ -272,3 +381,15 @@ class DumbbellNetwork:
     def queue(self) -> QueueDiscipline:
         """The bottleneck queue discipline (for drop/mark statistics)."""
         return self.bottleneck.queue
+
+    # Uniform topology interface shared with PathNetwork (Simulation reads
+    # these rather than reaching into the queue objects).
+    @property
+    def queue_drops(self) -> int:
+        """Congestive drops across the topology's queues (one queue here)."""
+        return self.bottleneck.queue.drops
+
+    @property
+    def queue_marks(self) -> int:
+        """ECN marks across the topology's queues (one queue here)."""
+        return self.bottleneck.queue.marks

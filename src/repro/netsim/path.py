@@ -1,0 +1,506 @@
+"""Multi-bottleneck path topologies with congestible reverse paths.
+
+The paper's evaluation — and this reproduction's matrix up to PR 4 — lives on
+single-bottleneck dumbbells whose acknowledgments return over an ideal path.
+The paper's own open question, how well learned schemes generalize to
+networks they were not designed for, needs richer topologies: parking-lot
+chains where flows cross several bottlenecks, and asymmetric paths where the
+ACK stream itself queues behind a congested reverse link.
+
+This module generalizes the topology layer into paths:
+
+* :class:`LinkSpec` — one hop: rate (or delivery trace), one-way propagation
+  delay, buffer, queue/AQM discipline and stochastic loss;
+* :class:`PathSpec` — an ordered chain of forward hops, an (optional) ordered
+  chain of reverse hops the acknowledgments traverse, per-flow baseline RTTs
+  and, for parking-lot cross traffic, per-flow hop subsets;
+* :class:`PathNetwork` — the materialized topology: flows are wired through
+  their hop chains in both directions, every hop owning its own queue.
+
+The dumbbell is exactly the one-forward-hop, no-reverse-hop special case:
+:meth:`repro.netsim.network.NetworkSpec.to_path_spec` converts a dumbbell
+spec into a :class:`PathSpec` whose :class:`PathNetwork` run is bit-identical
+to the :class:`~repro.netsim.network.DumbbellNetwork` run (pinned by
+``tests/test_path.py``).  ``DumbbellNetwork`` itself remains the single-hop
+fast path used when a plain :class:`~repro.netsim.network.NetworkSpec` is
+simulated.
+
+Semantics shared with the dumbbell:
+
+* a flow's ``rtt`` is its baseline two-way propagation delay *excluding*
+  per-hop serialization, queueing and each hop's own ``delay``; half is
+  applied after the last forward hop, half after the last reverse hop (or
+  directly, for flows with an ideal reverse path);
+* per-hop ``loss_rate`` applies Bernoulli loss at the hop's entry, ahead of
+  its queue, drawing from a dedicated rng so loss-free links never perturb
+  the random streams of other components;
+* queueing-delay statistics accumulate per *forward*-hop traversal into the
+  owning flow's :class:`~repro.netsim.stats.FlowStats` (so multi-hop cells
+  count one sample per hop crossed); reverse-path ACK queueing is visible
+  through the flow's RTT statistics instead.
+
+Packet-pool ownership on a path follows the PR 3 rule unchanged: whoever
+holds the last reference releases.  Every hop's queue is a drop sink
+(``release()`` on overflow/AQM drops, in any direction), the per-hop loss
+gates are drop sinks, and a packet delivered beyond its flow's route (a
+detached flow) is released by the dispatcher.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from functools import partial
+from typing import Callable, Optional, Sequence, Union
+
+from repro.netsim.events import EventScheduler
+from repro.netsim.link import ConstantRateLink, LinkBase, TraceDrivenLink
+from repro.netsim.network import (
+    QUEUE_KINDS,
+    FlowEndpoints,
+    QueueFactory,
+    build_queue,
+    validate_delivery_trace,
+)
+from repro.netsim.packet import Packet
+from repro.netsim.queue import QueueDiscipline
+from repro.netsim.receiver import Receiver
+from repro.netsim.sender import Sender
+from repro.netsim.stats import FlowStats
+
+
+@dataclass
+class LinkSpec:
+    """One hop of a path: a link plus the queue discipline it owns.
+
+    Parameters
+    ----------
+    rate_bps:
+        Transmission rate in bits/second (ignored when ``delivery_trace``
+        is set).
+    delay:
+        One-way propagation delay applied after each transmission (seconds).
+        Flow-level baseline RTT lives on :class:`PathSpec`; per-hop delays
+        model wire length between routers.
+    queue:
+        Queue discipline name (one of
+        :data:`~repro.netsim.network.QUEUE_KINDS`) or a factory returning a
+        :class:`~repro.netsim.queue.QueueDiscipline`.
+    buffer_packets:
+        Buffer size in packets.
+    loss_rate:
+        Probability a packet is lost at this hop's entry, before its queue
+        (stochastic non-congestive loss, e.g. a radio segment).
+    delivery_trace:
+        Optional ascending delivery timestamps; the hop becomes a
+        :class:`~repro.netsim.link.TraceDrivenLink` (a cellular tail link).
+    name:
+        Label used in link names (diagnostics only).
+    """
+
+    rate_bps: float = 15e6
+    delay: float = 0.0
+    queue: Union[str, QueueFactory] = "droptail"
+    buffer_packets: int = 1000
+    loss_rate: float = 0.0
+    delivery_trace: Optional[Sequence[float]] = None
+    name: str = ""
+    #: CoDel / RED parameters, consulted only by the relevant queue kinds.
+    codel_target: float = 0.005
+    codel_interval: float = 0.100
+    red_min_thresh: float = 20.0
+    red_max_thresh: float = 60.0
+    dctcp_marking_threshold: float = 65.0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0 and self.delivery_trace is None:
+            raise ValueError("rate_bps must be positive")
+        if self.buffer_packets <= 0:
+            raise ValueError("buffer_packets must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if isinstance(self.queue, str) and self.queue not in QUEUE_KINDS:
+            raise ValueError(
+                f"unknown queue kind {self.queue!r}; expected one of {QUEUE_KINDS}"
+            )
+        if self.delay < 0:
+            raise ValueError("delay cannot be negative")
+        if self.delivery_trace is not None:
+            validate_delivery_trace(self.delivery_trace, "hop")
+
+    def effective_rate_bps(self, mss_bytes: int = 1500) -> float:
+        """The hop's rate: constant, or the trace's long-term mean."""
+        if self.delivery_trace is None:
+            return self.rate_bps
+        times = list(self.delivery_trace)
+        span = times[-1] - times[0]
+        if span <= 0:
+            return self.rate_bps
+        return (len(times) - 1) * mss_bytes * 8 / span
+
+    def make_queue(
+        self,
+        rng: Optional[random.Random] = None,
+        mss_bytes: int = 1500,
+        mean_rtt: float = 0.05,
+    ) -> QueueDiscipline:
+        """Instantiate this hop's queue discipline."""
+        return build_queue(
+            self.queue,
+            buffer_packets=self.buffer_packets,
+            rng=rng,
+            codel_target=self.codel_target,
+            codel_interval=self.codel_interval,
+            red_min_thresh=self.red_min_thresh,
+            red_max_thresh=self.red_max_thresh,
+            dctcp_marking_threshold=self.dctcp_marking_threshold,
+            red_idle_decay_seconds=mss_bytes * 8 / self.effective_rate_bps(mss_bytes),
+            xcp_rate_bps=self.effective_rate_bps(mss_bytes),
+            xcp_mean_rtt=mean_rtt,
+        )
+
+    def build_link(
+        self,
+        scheduler: EventScheduler,
+        queue: QueueDiscipline,
+        name: str,
+    ) -> LinkBase:
+        """Materialize the hop (constant-rate or trace-driven)."""
+        if self.delivery_trace is not None:
+            return TraceDrivenLink(
+                scheduler,
+                delivery_times=self.delivery_trace,
+                queue=queue,
+                propagation_delay=self.delay,
+                name=name,
+            )
+        return ConstantRateLink(
+            scheduler,
+            rate_bps=self.rate_bps,
+            queue=queue,
+            propagation_delay=self.delay,
+            name=name,
+        )
+
+
+def _validate_hops(
+    hops: tuple[tuple[int, ...], ...],
+    n_flows: int,
+    n_links: int,
+    direction: str,
+    allow_empty: bool,
+) -> None:
+    if len(hops) != n_flows:
+        raise ValueError(
+            f"{direction}_hops has {len(hops)} entries for {n_flows} flows"
+        )
+    for flow_id, flow_hops in enumerate(hops):
+        if not flow_hops and not allow_empty:
+            raise ValueError(
+                f"flow {flow_id}: {direction}_hops must name at least one hop"
+            )
+        for index in flow_hops:
+            if not 0 <= index < n_links:
+                raise ValueError(
+                    f"flow {flow_id}: {direction} hop index {index} out of "
+                    f"range for {n_links} links"
+                )
+        if any(b <= a for a, b in zip(flow_hops, flow_hops[1:])):
+            raise ValueError(
+                f"flow {flow_id}: {direction}_hops must be strictly "
+                f"increasing link indices (a path traverses the chain in "
+                f"order), got {flow_hops}"
+            )
+
+
+@dataclass
+class PathSpec:
+    """Parameters of a multi-bottleneck path network.
+
+    Parameters
+    ----------
+    forward:
+        Ordered chain of hops data packets traverse (at least one).
+    reverse:
+        Ordered chain of hops acknowledgments traverse; empty means the
+        ideal (uncongested, lossless) return path of the paper's
+        single-bottleneck topologies.
+    rtt:
+        Baseline two-way propagation delay per flow (scalar or per-flow
+        sequence), *excluding* each hop's serialization/queueing/``delay``.
+    n_flows:
+        Number of sender-receiver pairs.
+    forward_hops / reverse_hops:
+        Optional per-flow hop routes: one tuple of strictly increasing link
+        indices per flow.  ``None`` routes every flow through the whole
+        chain.  Parking-lot cross traffic names a subset (e.g. ``(0,)``).
+        A flow's ``reverse_hops`` may be empty (ideal reverse for that
+        flow); ``forward_hops`` must name at least one hop.
+    mss_bytes:
+        Data segment size.
+    """
+
+    forward: tuple[LinkSpec, ...] = (LinkSpec(),)
+    reverse: tuple[LinkSpec, ...] = ()
+    rtt: Union[float, Sequence[float]] = 0.150
+    n_flows: int = 2
+    forward_hops: Optional[tuple[tuple[int, ...], ...]] = None
+    reverse_hops: Optional[tuple[tuple[int, ...], ...]] = None
+    mss_bytes: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.n_flows <= 0:
+            raise ValueError("n_flows must be positive")
+        self.forward = tuple(self.forward)
+        self.reverse = tuple(self.reverse)
+        if not self.forward:
+            raise ValueError("a path needs at least one forward hop")
+        if self.forward_hops is not None:
+            self.forward_hops = tuple(tuple(h) for h in self.forward_hops)
+            _validate_hops(
+                self.forward_hops, self.n_flows, len(self.forward),
+                "forward", allow_empty=False,
+            )
+        if self.reverse_hops is not None:
+            self.reverse_hops = tuple(tuple(h) for h in self.reverse_hops)
+            _validate_hops(
+                self.reverse_hops, self.n_flows, len(self.reverse),
+                "reverse", allow_empty=True,
+            )
+
+    # -- per-flow accessors -----------------------------------------------------
+    def rtt_for_flow(self, flow_id: int) -> float:
+        """Baseline RTT for a given flow (supports per-flow RTT sequences)."""
+        if isinstance(self.rtt, (int, float)):
+            return float(self.rtt)
+        rtts = list(self.rtt)
+        if len(rtts) < self.n_flows:
+            raise ValueError(
+                f"rtt sequence has {len(rtts)} entries but the spec has "
+                f"{self.n_flows} flows"
+            )
+        return float(rtts[flow_id])
+
+    def mean_rtt(self) -> float:
+        """Mean baseline RTT across flows (XCP's control interval)."""
+        if isinstance(self.rtt, (int, float)):
+            return float(self.rtt)
+        rtts = list(self.rtt)
+        return sum(rtts) / len(rtts)
+
+    def forward_hops_for(self, flow_id: int) -> tuple[int, ...]:
+        """The forward link indices flow ``flow_id`` traverses, in order."""
+        if self.forward_hops is None:
+            return tuple(range(len(self.forward)))
+        return self.forward_hops[flow_id]
+
+    def reverse_hops_for(self, flow_id: int) -> tuple[int, ...]:
+        """The reverse link indices the flow's ACKs traverse (may be empty)."""
+        if self.reverse_hops is None:
+            return tuple(range(len(self.reverse)))
+        return self.reverse_hops[flow_id]
+
+    def bottleneck_rate_bps(self, flow_id: int = 0) -> float:
+        """The flow's narrowest forward-hop rate (sanity checks, summaries)."""
+        return min(
+            self.forward[i].effective_rate_bps(self.mss_bytes)
+            for i in self.forward_hops_for(flow_id)
+        )
+
+    # -- generalisation hooks ---------------------------------------------------
+    def with_queue(self, queue: Union[str, QueueFactory]) -> "PathSpec":
+        """A copy with every *forward* hop's queue discipline replaced.
+
+        The scheme runner's router-support hook (``SchemeSpec.queue``): a
+        scheme that needs sfqCoDel/XCP/RED gateways needs them at every
+        forward bottleneck.  Reverse hops keep their configured disciplines
+        — the scheme under test does not administer the ACK path.
+        """
+        return replace(
+            self,
+            forward=tuple(replace(link, queue=queue) for link in self.forward),
+        )
+
+    def build_network(
+        self, scheduler: EventScheduler, rng: Optional[random.Random] = None
+    ) -> "PathNetwork":
+        """Materialize the topology."""
+        return PathNetwork(scheduler, self, rng=rng)
+
+
+class PathNetwork:
+    """Flows wired through ordered chains of links in both directions.
+
+    Construction order is deterministic — every forward hop (queue, then
+    loss rng when enabled), then every reverse hop — so a given network rng
+    yields identical streams run to run.  Packet routing is precomputed per
+    ``(hop, flow)``: each delivery costs one dict lookup plus one call,
+    mirroring the dumbbell's flattened fast path.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        spec: PathSpec,
+        rng: Optional[random.Random] = None,
+    ):
+        self.scheduler = scheduler
+        self.spec = spec
+        self.rng = rng if rng is not None else random.Random(0)
+        mean_rtt = spec.mean_rtt()
+
+        self.forward_links: list[LinkBase] = []
+        self.reverse_links: list[LinkBase] = []
+        self._forward_loss: list[Optional[random.Random]] = []
+        self._reverse_loss: list[Optional[random.Random]] = []
+        #: Per-hop counters of packets lost at the hop's entry gate.
+        self.forward_losses = [0] * len(spec.forward)
+        self.reverse_losses = [0] * len(spec.reverse)
+
+        for index, link_spec in enumerate(spec.forward):
+            queue = link_spec.make_queue(self.rng, spec.mss_bytes, mean_rtt)
+            link = link_spec.build_link(
+                scheduler, queue, link_spec.name or f"fwd{index}"
+            )
+            link.connect(partial(self._forward_delivered, index))
+            self.forward_links.append(link)
+            self._forward_loss.append(
+                random.Random(self.rng.getrandbits(32))
+                if link_spec.loss_rate > 0.0
+                else None
+            )
+        for index, link_spec in enumerate(spec.reverse):
+            queue = link_spec.make_queue(self.rng, spec.mss_bytes, mean_rtt)
+            link = link_spec.build_link(
+                scheduler, queue, link_spec.name or f"rev{index}"
+            )
+            link.connect(partial(self._reverse_delivered, index))
+            self.reverse_links.append(link)
+            self._reverse_loss.append(
+                random.Random(self.rng.getrandbits(32))
+                if link_spec.loss_rate > 0.0
+                else None
+            )
+
+        #: flow id -> FlowStats: every forward hop updates queueing-delay
+        #: counters inline through the shared stats map (one sample per hop
+        #: traversed).  Reverse hops deliberately do not: ACK queueing is
+        #: observable through RTT statistics, and mixing 40-byte-ACK sojourn
+        #: times into the forward queue-delay metric would corrupt it.
+        self._delay_stats: dict[int, FlowStats] = {}
+        for link in self.forward_links:
+            link.delay_stats = self._delay_stats
+
+        #: Per-hop routing: flow id -> handler for a packet leaving the hop
+        #: (next hop's entry, or the endpoint delivery partial).
+        self._forward_next: list[dict[int, Callable[[Packet], None]]] = [
+            {} for _ in spec.forward
+        ]
+        self._reverse_next: list[dict[int, Callable[[Packet], None]]] = [
+            {} for _ in spec.reverse
+        ]
+        self.flows: dict[int, FlowEndpoints] = {}
+
+    # -- hop entries -----------------------------------------------------------
+    def _forward_entry(self, index: int) -> Callable[[Packet], None]:
+        if self._forward_loss[index] is not None:
+            return partial(self._lossy_forward_entry, index)
+        return self.forward_links[index].receive
+
+    def _reverse_entry(self, index: int) -> Callable[[Packet], None]:
+        if self._reverse_loss[index] is not None:
+            return partial(self._lossy_reverse_entry, index)
+        return self.reverse_links[index].receive
+
+    def _lossy_forward_entry(self, index: int, packet: Packet) -> None:
+        if self._forward_loss[index].random() < self.spec.forward[index].loss_rate:
+            self.forward_losses[index] += 1
+            packet.release()  # drop sink: stochastic link loss
+            return
+        self.forward_links[index].receive(packet)
+
+    def _lossy_reverse_entry(self, index: int, packet: Packet) -> None:
+        if self._reverse_loss[index].random() < self.spec.reverse[index].loss_rate:
+            self.reverse_losses[index] += 1
+            packet.release()  # drop sink: stochastic link loss
+            return
+        self.reverse_links[index].receive(packet)
+
+    # -- flow attachment -------------------------------------------------------
+    def attach_flow(
+        self, flow_id: int, sender: Sender, receiver: Receiver
+    ) -> FlowEndpoints:
+        """Wire a sender/receiver pair through its hop chains."""
+        if flow_id in self.flows:
+            raise ValueError(f"flow {flow_id} already attached")
+        spec = self.spec
+        rtt = spec.rtt_for_flow(flow_id)
+        one_way = rtt / 2
+        forward_hops = spec.forward_hops_for(flow_id)
+        reverse_hops = spec.reverse_hops_for(flow_id)
+
+        sender.connect(self._forward_entry(forward_hops[0]))
+        for here, there in zip(forward_hops, forward_hops[1:]):
+            self._forward_next[here][flow_id] = self._forward_entry(there)
+        # The last forward hop hands the packet across the flow's one-way
+        # propagation directly to the receiver (a partial, not a lambda —
+        # the call is C-level, exactly like the dumbbell's route table).
+        self._forward_next[forward_hops[-1]][flow_id] = partial(
+            self.scheduler.post_after, one_way, receiver.on_packet
+        )
+
+        to_sender = partial(self.scheduler.post_after, one_way, sender.on_ack)
+        if reverse_hops:
+            receiver.connect(self._reverse_entry(reverse_hops[0]))
+            for here, there in zip(reverse_hops, reverse_hops[1:]):
+                self._reverse_next[here][flow_id] = self._reverse_entry(there)
+            self._reverse_next[reverse_hops[-1]][flow_id] = to_sender
+        else:
+            # Ideal reverse path: bind the delay and the sender's ACK
+            # handler directly into the receiver's callback (the dumbbell
+            # wiring, verbatim).
+            receiver.connect(to_sender)
+
+        endpoints = FlowEndpoints(
+            sender=sender, receiver=receiver, stats=sender.stats, rtt=rtt
+        )
+        self.flows[flow_id] = endpoints
+        self._delay_stats[flow_id] = sender.stats
+        return endpoints
+
+    # -- packet plumbing -------------------------------------------------------
+    def _forward_delivered(self, index: int, packet: Packet) -> None:
+        handler = self._forward_next[index].get(packet.flow_id)
+        if handler is None:
+            packet.release()  # packet from a detached flow (should not happen)
+            return
+        handler(packet)
+
+    def _reverse_delivered(self, index: int, packet: Packet) -> None:
+        handler = self._reverse_next[index].get(packet.flow_id)
+        if handler is None:
+            packet.release()  # ACK from a detached flow (should not happen)
+            return
+        handler(packet)
+
+    # -- introspection ----------------------------------------------------------
+    def queues(self) -> list[QueueDiscipline]:
+        """Every hop's queue, forward chain first (drop/mark statistics)."""
+        return [link.queue for link in self.forward_links] + [
+            link.queue for link in self.reverse_links
+        ]
+
+    @property
+    def queue_drops(self) -> int:
+        """Congestive drops summed over every hop's queue, both directions."""
+        return sum(queue.drops for queue in self.queues())
+
+    @property
+    def queue_marks(self) -> int:
+        """ECN marks summed over every hop's queue, both directions."""
+        return sum(queue.marks for queue in self.queues())
+
+    @property
+    def link_losses(self) -> int:
+        """Stochastic entry-gate losses summed over every hop."""
+        return sum(self.forward_losses) + sum(self.reverse_losses)

@@ -9,6 +9,7 @@ top of :class:`repro.netsim.aqm.CoDelQueue`.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from repro.netsim.aqm import CoDelQueue
@@ -31,6 +32,24 @@ class SfqCoDelQueue(QueueDiscipline):
         packets per round.
     target, interval:
         CoDel parameters applied to each sub-queue.
+
+    Deficit round robin follows the fq_codel shape: a bucket arriving at the
+    head of the rotation with a spent deficit is granted **one quantum per
+    round-robin visit** and rotated to the tail; a bucket with deficit left
+    keeps the head and is served, its deficit going (possibly negative, by
+    less than one packet) until the next visit's grant repays it.  This is
+    what makes mixed packet sizes — 40-byte ACKs sharing a path-reverse
+    gateway with 1500-byte data, the case multi-hop topologies introduce —
+    byte-fair: a small-packet bucket banks its unspent grant instead of being
+    starved down to its leftover.  With uniform-MTU packets and the default
+    one-MTU quantum every visit serves exactly one packet, so single-MTU
+    scenarios are bit-identical to the pre-fix discipline (pinned by the
+    golden matrix).
+
+    The rotation is a ``deque`` with per-bucket membership flags: the
+    previous list-based rotation paid an O(active) ``pop(0)`` per served
+    packet and an O(active) ``bucket not in active`` scan per enqueue — the
+    flattest remaining sfqCoDel cost flagged by the PR 3 profile.
     """
 
     def __init__(
@@ -46,6 +65,10 @@ class SfqCoDelQueue(QueueDiscipline):
             raise ValueError("n_queues must be positive")
         if capacity_packets <= 0:
             raise ValueError("capacity must be positive")
+        if quantum_bytes <= 0:
+            # Also load-bearing for the DRR loop below: a non-positive
+            # quantum would make the grant-and-rotate visit spin forever.
+            raise ValueError("quantum_bytes must be positive")
         self.n_queues = n_queues
         self.capacity_packets = capacity_packets
         self.quantum_bytes = quantum_bytes
@@ -53,8 +76,11 @@ class SfqCoDelQueue(QueueDiscipline):
             CoDelQueue(capacity_packets=capacity_packets, target=target, interval=interval)
             for _ in range(n_queues)
         ]
-        # Active list for deficit round robin: bucket indices with packets.
-        self._active: list[int] = []
+        # Deficit-round-robin rotation: bucket indices awaiting service, with
+        # O(1) membership flags (a bucket may linger in the rotation briefly
+        # after draining; it is retired at its next visit).
+        self._active: deque[int] = deque()
+        self._in_active = bytearray(n_queues)
         self._deficit = [0] * n_queues
         self._total_packets = 0
         self._total_bytes = 0
@@ -78,19 +104,43 @@ class SfqCoDelQueue(QueueDiscipline):
             return False
         self._total_packets += 1
         self._total_bytes += packet.size_bytes
-        if was_empty and bucket not in self._active:
+        if was_empty and not self._in_active[bucket]:
             self._active.append(bucket)
+            self._in_active[bucket] = True
             self._deficit[bucket] = self.quantum_bytes
         self.enqueues += 1
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
-        # Deficit round robin over active buckets; CoDel may drop packets
-        # while we service a bucket, so recompute totals from what it returns.
-        rounds = 0
-        while self._active and rounds < 2 * len(self._active) + 2:
-            bucket = self._active[0]
+        # Deficit round robin over the rotation; CoDel may drop packets
+        # while we service a bucket, so recompute totals from what it
+        # returns.  The loop terminates: an empty head bucket retires
+        # (rotation shrinks), an indebted head bucket's deficit strictly
+        # grows by one quantum per visit (so it serves within
+        # ⌈size/quantum⌉ visits), and a served packet returns.
+        active = self._active
+        deficits = self._deficit
+        quantum = self.quantum_bytes
+        while active:
+            bucket = active[0]
             queue = self._queues[bucket]
+            if len(queue) == 0:
+                # Defensive: a rotation entry whose sub-queue is
+                # (unexpectedly) empty — retire it.  Served buckets retire
+                # the moment they drain, so this never fires in the normal
+                # rotation.
+                active.popleft()
+                self._in_active[bucket] = False
+                deficits[bucket] = 0
+                continue
+            if deficits[bucket] <= 0:
+                # A visit that finds the bucket still in debt (its last
+                # packet overdrew the deficit): grant this round's quantum
+                # and rotate without serving — byte-accurate DRR for packets
+                # larger than the quantum.
+                deficits[bucket] += quantum
+                active.rotate(-1)
+                continue
             before = len(queue)
             before_bytes = queue.bytes_queued()
             packet = queue.dequeue(now)
@@ -108,24 +158,36 @@ class SfqCoDelQueue(QueueDiscipline):
                 )
                 self.drops += consumed
             if packet is None:
-                # Bucket empty (or fully drained by CoDel): retire it.
-                self._active.pop(0)
-                self._deficit[bucket] = 0
-                rounds += 1
+                # CoDel drained the bucket during service: retire it.
+                active.popleft()
+                self._in_active[bucket] = False
+                deficits[bucket] = 0
                 continue
             self._total_packets -= 1
             self._total_bytes -= packet.size_bytes
-            if packet.size_bytes > self._deficit[bucket]:
-                # Not enough deficit: in byte-accurate DRR we would requeue,
-                # but with uniform MTU packets one quantum always suffices;
-                # simply top the bucket up and send.
-                self._deficit[bucket] += self.quantum_bytes
-            self._deficit[bucket] -= packet.size_bytes
-            # Move the bucket to the tail to round-robin between flows.
-            self._active.pop(0)
-            if len(queue) > 0:
-                self._active.append(bucket)
-                self._deficit[bucket] += self.quantum_bytes if not self._deficit[bucket] else 0
+            deficit = deficits[bucket] - packet.size_bytes
+            if len(queue) == 0:
+                # Drained by its own service: retire immediately so a
+                # re-activation rejoins at the tail of the rotation.
+                active.popleft()
+                self._in_active[bucket] = False
+                deficits[bucket] = 0
+            elif deficit <= 0:
+                # Deficit spent (possibly overdrawn by less than one
+                # packet): the round-robin visit ends — grant the next
+                # round's quantum and rotate to the tail.  Granting on
+                # *every* rotation (not only when the deficit lands on
+                # exactly zero) is what keeps mixed-packet-size buckets —
+                # 40-byte ACKs on a congested reverse path — from being
+                # starved down to their leftover deficit.
+                deficits[bucket] = deficit + quantum
+                active.popleft()
+                active.append(bucket)
+            else:
+                # Deficit remains: the bucket keeps the head and is served
+                # again next call — quantum bytes per round-robin visit,
+                # not one packet per visit.
+                deficits[bucket] = deficit
             self.dequeues += 1
             return packet
         return None

@@ -1,10 +1,12 @@
-"""Simulation driver: build a dumbbell, run it, summarise per-flow results.
+"""Simulation driver: build a topology, run it, summarise per-flow results.
 
 :class:`Simulation` is the top-level entry point used by the examples, the
-Remy evaluator and every experiment harness.  It takes a
-:class:`~repro.netsim.network.NetworkSpec`, one congestion-control module and
-one workload per flow, runs the discrete-event loop for a fixed duration and
-returns a :class:`SimulationResult`.
+Remy evaluator and every experiment harness.  It takes a topology spec — a
+:class:`~repro.netsim.network.NetworkSpec` (single-bottleneck dumbbell, the
+fast path) or a :class:`~repro.netsim.path.PathSpec` (multi-bottleneck path
+with an optionally congestible reverse direction) — one congestion-control
+module and one workload per flow, runs the discrete-event loop for a fixed
+duration and returns a :class:`SimulationResult`.
 """
 
 from __future__ import annotations
@@ -12,14 +14,18 @@ from __future__ import annotations
 import random
 import statistics
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from repro.netsim.events import EventScheduler
 from repro.netsim.network import DumbbellNetwork, NetworkSpec
 from repro.netsim.packet import PacketPool
+from repro.netsim.path import PathNetwork, PathSpec
 from repro.netsim.receiver import Receiver
 from repro.netsim.sender import Sender, Workload
 from repro.netsim.stats import FlowStats
+
+#: Topology descriptions a :class:`Simulation` accepts.
+TopologySpec = Union[NetworkSpec, PathSpec]
 
 if TYPE_CHECKING:  # type annotations only; avoids a netsim <-> protocols cycle
     from repro.protocols.base import CongestionControl
@@ -100,7 +106,7 @@ class Simulation:
 
     def __init__(
         self,
-        spec: NetworkSpec,
+        spec: TopologySpec,
         protocols: Sequence["CongestionControl"],
         workloads: Optional[Sequence[Optional[Workload]]] = None,
         duration: float = 100.0,
@@ -138,8 +144,12 @@ class Simulation:
             PacketPool(debug=debug_packet_pool) if use_packet_pool else None
         )
         self.master_rng = random.Random(seed)
-        self.network = DumbbellNetwork(
-            self.scheduler, spec, rng=random.Random(self.master_rng.getrandbits(32))
+        #: The topology spec builds its own network class (dumbbell fast
+        #: path or multi-hop path network); both consume exactly one master
+        #: rng draw here, so adding path topologies cannot perturb the
+        #: per-flow random streams of existing dumbbell runs.
+        self.network: Union[DumbbellNetwork, PathNetwork] = spec.build_network(
+            self.scheduler, rng=random.Random(self.master_rng.getrandbits(32))
         )
         self.senders: list[Sender] = []
         self.receivers: list[Receiver] = []
@@ -172,18 +182,17 @@ class Simulation:
         self.scheduler.run_until(self.duration, max_events=self.max_events)
         for sender in self.senders:
             sender.finalize(self.duration)
-        queue = self.network.queue
         return SimulationResult(
             duration=self.duration,
             flow_stats=[sender.stats for sender in self.senders],
-            queue_drops=queue.drops,
-            queue_marks=queue.marks,
+            queue_drops=self.network.queue_drops,
+            queue_marks=self.network.queue_marks,
             events_processed=self.scheduler.events_processed,
         )
 
 
 def run_simulation(
-    spec: NetworkSpec,
+    spec: TopologySpec,
     protocols: Sequence["CongestionControl"],
     workloads: Optional[Sequence[Optional[Workload]]] = None,
     duration: float = 100.0,

@@ -22,9 +22,8 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
-from repro.netsim.network import NetworkSpec
 from repro.netsim.sender import Workload
-from repro.netsim.simulator import Simulation, SimulationResult
+from repro.netsim.simulator import Simulation, SimulationResult, TopologySpec
 
 if TYPE_CHECKING:
     # Annotation-only imports.  repro.core's package __init__ imports the
@@ -75,7 +74,7 @@ class SimJob:
     """
 
     job_id: int
-    spec: NetworkSpec
+    spec: TopologySpec
     duration: float
     seed: int
     workloads: tuple[Workload, ...] = ()

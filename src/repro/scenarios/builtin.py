@@ -19,13 +19,20 @@ Topology        Smoke cell               Covers
 ``cellular``    ``fig7-lte4``            trace-driven LTE downlink (§5.3)
 ``rtt``         ``fig10-rtt-fairness``   per-flow RTT asymmetry (§5.4)
 ``datacenter``  ``datacenter-dctcp``     high-rate/low-RTT incast-ish (§5.5)
+``path``        ``parking-lot-2bn``      multi-bottleneck / reverse-path cells
 ``bench``       ``bench-newreno-droptail``  events/sec benchmark cases
 ==============  =======================  ===================================
+
+The ``path`` cells probe the paper's open question — generalization to
+networks the schemes were not designed for — on topologies the paper never
+evaluates: parking-lot chains with cross traffic, multi-hop mixed-AQM paths,
+congested/ACK-dropping reverse paths, and a multi-hop cellular tail link.
 """
 
 from __future__ import annotations
 
 from repro.netsim.network import NetworkSpec
+from repro.netsim.path import LinkSpec, PathSpec
 from repro.scenarios.registry import register_scenario
 from repro.scenarios.spec import ProtocolSpec, ScenarioSpec, TraceSpec
 from repro.traffic.flowsize import icsi_flow_length_distribution
@@ -359,8 +366,181 @@ register_scenario(
 
 
 # ---------------------------------------------------------------------------
+# Multi-bottleneck / reverse-path cells (the `path` topology)
+# ---------------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="parking-lot-2bn",
+        description=(
+            "Two-bottleneck parking lot: two through flows cross both hops, "
+            "one cross-traffic flow per hop"
+        ),
+        topology="path",
+        network=PathSpec(
+            forward=(
+                LinkSpec(rate_bps=8e6, delay=0.005, buffer_packets=150),
+                LinkSpec(rate_bps=6e6, delay=0.005, buffer_packets=150),
+            ),
+            rtt=(0.100, 0.100, 0.050, 0.050),
+            n_flows=4,
+            # Flows 0-1 traverse the whole lot; flow 2 parks on hop 0 and
+            # flow 3 on hop 1 (the classic parking-lot cross traffic).
+            forward_hops=((0, 1), (0, 1), (0,), (1,)),
+        ),
+        protocols=(ProtocolSpec("newreno"),),
+        workload=ByteFlowWorkload.exponential(
+            mean_flow_bytes=100e3, mean_off_seconds=0.2
+        ),
+        duration=2.5,
+        seed=301,
+        smoke=True,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="chain-3hop",
+        description=(
+            "Three-hop chain with the bottleneck in the middle "
+            "(14 -> 8 -> 12 Mbps), Cubic through all hops"
+        ),
+        topology="path",
+        network=PathSpec(
+            forward=(
+                LinkSpec(rate_bps=14e6, delay=0.005, buffer_packets=300),
+                LinkSpec(rate_bps=5e6, delay=0.005, buffer_packets=120),
+                LinkSpec(rate_bps=12e6, delay=0.005, buffer_packets=300),
+            ),
+            rtt=0.080,
+            n_flows=4,
+        ),
+        protocols=(ProtocolSpec("cubic"),),
+        workload=ByteFlowWorkload.exponential(
+            mean_flow_bytes=150e3, mean_off_seconds=0.2
+        ),
+        duration=2.5,
+        seed=302,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="reverse-ack-congestion",
+        description=(
+            "Congested reverse path: always-on NewReno data over 10 Mbps, "
+            "ACK stream squeezed through a 200 kbps / 60-packet return hop"
+        ),
+        topology="path",
+        network=PathSpec(
+            forward=(LinkSpec(rate_bps=10e6, buffer_packets=400),),
+            reverse=(LinkSpec(rate_bps=200e3, buffer_packets=60),),
+            rtt=0.060,
+            n_flows=4,
+        ),
+        protocols=(ProtocolSpec("newreno"),),
+        duration=2.5,
+        seed=303,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="multihop-mixed-aqm",
+        description=(
+            "Mixed-AQM chain: CoDel -> RED -> DropTail hops with on/off "
+            "traffic (idle periods exercise RED's time-based idle decay)"
+        ),
+        topology="path",
+        network=PathSpec(
+            forward=(
+                LinkSpec(rate_bps=10e6, delay=0.004, buffer_packets=200, queue="codel"),
+                LinkSpec(
+                    rate_bps=7e6,
+                    delay=0.004,
+                    buffer_packets=150,
+                    queue="red",
+                    red_min_thresh=10.0,
+                    red_max_thresh=40.0,
+                ),
+                LinkSpec(rate_bps=12e6, delay=0.004, buffer_packets=300),
+            ),
+            rtt=0.060,
+            n_flows=4,
+        ),
+        protocols=(ProtocolSpec("newreno"),),
+        workload=ByteFlowWorkload.exponential(
+            mean_flow_bytes=200e3, mean_off_seconds=0.3
+        ),
+        duration=2.5,
+        seed=304,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cellular-multihop-tail",
+        description=(
+            "Multi-hop cellular: a 20 Mbps wired hop feeding a Verizon LTE "
+            "trace-driven tail link"
+        ),
+        topology="path",
+        network=PathSpec(
+            forward=(
+                LinkSpec(rate_bps=20e6, delay=0.010, buffer_packets=200),
+                LinkSpec(rate_bps=15e6, buffer_packets=1000),  # trace governs
+            ),
+            rtt=0.050,
+            n_flows=4,
+        ),
+        trace=TraceSpec("verizon", duration_seconds=3.0, seed=11),
+        trace_link=1,
+        protocols=(ProtocolSpec("newreno"),),
+        workload=_paper_onoff(),
+        duration=3.0,
+        seed=305,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="reverse-sfq-ack",
+        description=(
+            "sfqCoDel reverse gateway: 40-byte ACK buckets under DRR on a "
+            "300 kbps return hop (mixed-packet-size byte fairness)"
+        ),
+        topology="path",
+        network=PathSpec(
+            forward=(LinkSpec(rate_bps=10e6, buffer_packets=400),),
+            reverse=(LinkSpec(rate_bps=300e3, buffer_packets=200, queue="sfqcodel"),),
+            rtt=0.060,
+            n_flows=4,
+        ),
+        protocols=(ProtocolSpec("newreno"),),
+        duration=2.5,
+        seed=306,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
 # Benchmark cells (the events/sec harness builds these with duration=5.0)
 # ---------------------------------------------------------------------------
+#: Benchmark case label -> registered cell, the single source of truth
+#: consumed by both ``benchmarks/test_bench_simulator_speed.py`` (the
+#: trajectory harness) and ``tools/profile_hotpath.py`` (which promises to
+#: profile *exactly* the benchmarked simulations).
+BENCH_CASE_SCENARIOS = {
+    "newreno/droptail": "bench-newreno-droptail",
+    "newreno/codel": "bench-newreno-codel",
+    "newreno/sfqcodel": "bench-newreno-sfqcodel",
+    "newreno/red": "bench-newreno-red",
+    "newreno/xcp": "bench-newreno-xcp",
+    "newreno/twohop": "bench-newreno-twohop",
+    "remy/droptail": "bench-remy-droptail",
+    "remy-training/droptail": "bench-remy-training",
+}
+
+
 def _bench_network(queue: str) -> NetworkSpec:
     return NetworkSpec(
         link_rate_bps=10e6, rtt=0.05, n_flows=4, queue=queue, buffer_packets=500
@@ -382,6 +562,30 @@ for _queue in ("droptail", "codel", "sfqcodel", "red", "xcp"):
             smoke=_queue == "droptail",
         )
     )
+
+register_scenario(
+    ScenarioSpec(
+        name="bench-newreno-twohop",
+        description=(
+            "events/sec benchmark: 4 always-on NewReno senders over a "
+            "two-hop path with a congestible reverse hop (multi-hop "
+            "dispatch + pooled ACK routing cost)"
+        ),
+        topology="bench",
+        network=PathSpec(
+            forward=(
+                LinkSpec(rate_bps=10e6, buffer_packets=500),
+                LinkSpec(rate_bps=8e6, buffer_packets=500),
+            ),
+            reverse=(LinkSpec(rate_bps=1e6, buffer_packets=500),),
+            rtt=0.05,
+            n_flows=4,
+        ),
+        protocols=(ProtocolSpec("newreno"),),
+        duration=2.0,
+        seed=0,
+    )
+)
 
 register_scenario(
     ScenarioSpec(

@@ -33,9 +33,9 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.netsim.network import NetworkSpec
+from repro.netsim.path import PathSpec
 from repro.netsim.sender import Workload
-from repro.netsim.simulator import Simulation, SimulationResult
+from repro.netsim.simulator import Simulation, SimulationResult, TopologySpec
 from repro.traces.cellular import att_lte_trace, verizon_lte_trace
 
 if TYPE_CHECKING:  # annotation-only: avoids importing protocols at module load
@@ -108,11 +108,18 @@ class ScenarioSpec:
         One line on what the cell exercises (shown by ``tools/fingerprint.py``).
     topology:
         Coarse topology tag (``dumbbell``, ``cellular``, ``datacenter``,
-        ``rtt``, ``bench``) used to pick the tier-1 smoke subset — one smoke
-        cell per topology.
+        ``rtt``, ``path``, ``bench``) used to pick the tier-1 smoke subset —
+        one smoke cell per topology.
     network:
-        The bottleneck description.  For trace-driven cells leave
-        ``network.delivery_trace`` unset and supply ``trace`` instead.
+        The topology description: a single-bottleneck
+        :class:`~repro.netsim.network.NetworkSpec` or a multi-bottleneck
+        :class:`~repro.netsim.path.PathSpec`.  For trace-driven cells leave
+        the trace unset on the network and supply ``trace`` instead (for a
+        path, also name the trace-driven hop via ``trace_link``).
+    trace_link:
+        Index of the forward hop that replays ``trace`` when ``network`` is
+        a :class:`~repro.netsim.path.PathSpec` (e.g. the cellular tail link
+        of a multi-hop path).  Ignored without ``trace``.
     protocols:
         Either a single :class:`ProtocolSpec` applied to every flow, or one
         per flow (mixed protocol sets, e.g. a RemyCC competing with Cubic).
@@ -133,11 +140,12 @@ class ScenarioSpec:
     name: str
     description: str
     topology: str
-    network: NetworkSpec
+    network: TopologySpec
     protocols: tuple[ProtocolSpec, ...] = (ProtocolSpec(),)
     workload: Optional[Workload] = None
     per_flow_workloads: tuple[Workload, ...] = ()
     trace: Optional[TraceSpec] = None
+    trace_link: Optional[int] = None
     duration: float = 3.0
     seed: int = 0
     smoke: bool = False
@@ -158,16 +166,50 @@ class ScenarioSpec:
                 f"{self.name}: got {len(self.per_flow_workloads)} per-flow "
                 f"workloads for {n_flows} flows"
             )
-        if self.network.delivery_trace is not None and self.trace is not None:
-            raise ValueError(
-                f"{self.name}: set either network.delivery_trace or trace, not both"
-            )
+        is_path = isinstance(self.network, PathSpec)
+        if is_path:
+            if self.trace is not None:
+                if self.trace_link is None:
+                    raise ValueError(
+                        f"{self.name}: a path cell with a trace must name "
+                        "the trace-driven forward hop via trace_link"
+                    )
+                if not 0 <= self.trace_link < len(self.network.forward):
+                    raise ValueError(
+                        f"{self.name}: trace_link {self.trace_link} out of "
+                        f"range for {len(self.network.forward)} forward hops"
+                    )
+                if self.network.forward[self.trace_link].delivery_trace is not None:
+                    raise ValueError(
+                        f"{self.name}: hop {self.trace_link} already has a "
+                        "delivery_trace; set either that or trace, not both"
+                    )
+        else:
+            if self.trace_link is not None:
+                raise ValueError(
+                    f"{self.name}: trace_link only applies to PathSpec cells"
+                )
+            if self.network.delivery_trace is not None and self.trace is not None:
+                raise ValueError(
+                    f"{self.name}: set either network.delivery_trace or trace, not both"
+                )
 
     # -- materialization -----------------------------------------------------
-    def network_spec(self) -> NetworkSpec:
-        """The :class:`NetworkSpec` to simulate, with any trace materialized."""
+    def network_spec(self) -> TopologySpec:
+        """The topology spec to simulate, with any trace materialized."""
         if self.trace is None:
             return self.network
+        if isinstance(self.network, PathSpec):
+            trace_hop = replace(
+                self.network.forward[self.trace_link],
+                delivery_trace=self.trace.delivery_times(),
+            )
+            forward = (
+                self.network.forward[: self.trace_link]
+                + (trace_hop,)
+                + self.network.forward[self.trace_link + 1 :]
+            )
+            return replace(self.network, forward=forward)
         return replace(self.network, delivery_trace=self.trace.delivery_times())
 
     def protocol_spec_for(self, flow_id: int) -> ProtocolSpec:
@@ -243,8 +285,10 @@ class ScenarioSpec:
     def override(self, **changes) -> "ScenarioSpec":
         """A copy with scenario- and/or network-level fields replaced.
 
-        Keyword arguments naming :class:`NetworkSpec` fields (``n_flows``,
-        ``queue``, ``link_rate_bps``, ...) are applied to the embedded
+        Keyword arguments naming fields of the embedded network's own class
+        (``n_flows``, ``queue``, ``link_rate_bps``, ... for a
+        :class:`NetworkSpec`; ``forward``, ``reverse``, ``rtt``, ... for a
+        :class:`~repro.netsim.path.PathSpec`) are applied to the embedded
         network; the rest are applied to the scenario itself.  This is how
         the figure harnesses expose paper-scale knobs while still resolving
         the base topology from the registry.
@@ -262,7 +306,7 @@ class ScenarioSpec:
         harness that only needs the topology should ``replace()`` the
         ``network`` field directly instead.
         """
-        network_fields = {f.name for f in fields(NetworkSpec)}
+        network_fields = {f.name for f in fields(type(self.network))}
         network = changes.pop("network", self.network)
         network_changes = {
             key: changes.pop(key) for key in list(changes) if key in network_fields

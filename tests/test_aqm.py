@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from repro.netsim.aqm import CoDelQueue, REDQueue
 from repro.netsim.packet import Packet
 
@@ -70,6 +72,103 @@ class TestRED:
 
         with pytest.raises(ValueError):
             REDQueue(min_thresh=10, max_thresh=5)
+
+    def test_idle_decay_is_time_based_not_per_call(self):
+        # Floyd & Jacobson idle decay: the average decays as a function of
+        # how long the queue sat empty, not of how many times the link
+        # polled it while idle.
+        def build():
+            queue = REDQueue(
+                capacity_packets=100,
+                min_thresh=2,
+                max_thresh=50,
+                weight=0.1,
+                idle_decay_seconds=0.01,
+            )
+            for seq in range(20):
+                queue.enqueue(_packet(seq), 0.0)
+            while queue.dequeue(0.5) is not None:
+                pass
+            return queue
+
+        polled_once = build()
+        polled_many = build()
+        assert polled_once._avg == polled_many._avg > 0.0
+        # Extra empty polls during the idle span must not decay the average.
+        for _ in range(50):
+            assert polled_many.dequeue(0.6) is None
+        assert polled_many._avg == polled_once._avg
+
+        # The next arrival applies the decay once, scaled by the idle time
+        # (m = idle / idle_decay_seconds EWMA steps).
+        busy_avg = polled_once._avg
+        polled_once.enqueue(_packet(100), 0.7)  # idle 0.5 -> 0.7 = 20 steps
+        polled_many.enqueue(_packet(100), 0.7)
+        expected = busy_avg * (1 - 0.1) ** ((0.7 - 0.5) / 0.01)
+        assert polled_once._avg == pytest.approx(expected)
+        assert polled_many._avg == polled_once._avg
+
+    def test_longer_idle_decays_further(self):
+        def avg_after_idle(idle: float) -> float:
+            queue = REDQueue(
+                capacity_packets=100, min_thresh=2, max_thresh=50, weight=0.1
+            )
+            for seq in range(20):
+                queue.enqueue(_packet(seq), 0.0)
+            while queue.dequeue(0.5) is not None:
+                pass
+            queue.enqueue(_packet(99), 0.5 + idle)
+            return queue._avg
+
+        assert avg_after_idle(1.0) < avg_after_idle(0.1) < avg_after_idle(0.001)
+
+    def test_idle_decay_seconds_validated(self):
+        with pytest.raises(ValueError):
+            REDQueue(idle_decay_seconds=0.0)
+
+    def test_early_drop_on_empty_queue_does_not_lose_the_idle_clock(self):
+        # Regression: an arrival to an EMPTY queue that RED early-drops
+        # leaves the queue idle — the idle clock must keep running so later
+        # arrivals continue decaying the average.  (Previously the clock was
+        # cleared before the accept/drop decision, freezing a high average
+        # forever and starving the link.)
+        queue = REDQueue(
+            capacity_packets=100,
+            min_thresh=2,
+            max_thresh=4,
+            max_p=1.0,
+            weight=0.2,
+            ecn=False,
+            rng=random.Random(1),
+            idle_decay_seconds=0.01,
+        )
+        # Drive the average above max_thresh (drop probability 1), then
+        # drain: the next arrivals to the now-empty queue are deterministic
+        # early drops until the idle decay pulls the average back down.
+        for seq in range(30):
+            queue.enqueue(_packet(seq), 0.0)
+        while queue.dequeue(1.0) is not None:
+            pass
+        assert queue._avg > queue.max_thresh
+
+        # One idle_decay unit (x0.8) between arrivals: the first arrivals
+        # are early-dropped on the EMPTY queue, and each such drop must
+        # leave the idle clock running so the average keeps decaying.
+        accepted = False
+        avg_trail = []
+        for step in range(1, 200):
+            accepted = queue.enqueue(_packet(100 + step), 1.0 + step * 0.01)
+            avg_trail.append(queue._avg)
+            if accepted:
+                break
+            assert len(queue) == 0  # still idle after the early drop
+        assert len(avg_trail) >= 3, "expected several deterministic early drops"
+        assert accepted, f"queue never recovered; avg trail {avg_trail[:5]}..."
+        # The decay accumulated across the dropped arrivals instead of
+        # freezing at the pre-idle average (the old behaviour starved the
+        # link forever).
+        assert all(b < a for a, b in zip(avg_trail, avg_trail[1:]))
+        assert queue._avg < queue.max_thresh
 
 
 class TestCoDel:

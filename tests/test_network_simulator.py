@@ -52,6 +52,29 @@ class TestNetworkSpec:
         with pytest.raises(ValueError):
             NetworkSpec(n_flows=0)
 
+    def test_empty_delivery_trace_rejected_at_construction(self):
+        # Used to slip through and crash later with an IndexError inside
+        # effective_rate_bps(); now it fails fast with an instructive error.
+        with pytest.raises(ValueError, match="at least one delivery instant"):
+            NetworkSpec(delivery_trace=[])
+
+    def test_decreasing_delivery_trace_rejected_at_construction(self):
+        # Used to surface only deep inside TraceDrivenLink construction.
+        with pytest.raises(ValueError, match="entry 2 .* precedes entry 1"):
+            NetworkSpec(delivery_trace=[0.0, 0.02, 0.01, 0.03])
+
+    def test_single_instant_trace_is_valid(self):
+        spec = NetworkSpec(delivery_trace=[0.5])
+        # Zero-span trace: falls back to the nominal rate instead of dividing
+        # by zero.
+        assert spec.effective_rate_bps() == spec.link_rate_bps
+
+    def test_equal_timestamps_are_allowed(self):
+        # Back-to-back delivery opportunities at one instant are legal (LTE
+        # traces contain them); only *decreasing* steps are malformed.
+        spec = NetworkSpec(delivery_trace=[0.0, 0.01, 0.01, 0.02])
+        assert spec.effective_rate_bps() > 0
+
 
 class TestForwardPathLoss:
     def _run(self, loss_rate: float, seed: int = 3):

@@ -63,6 +63,16 @@ NEW_CELLS = {
     "cellular-lossy",
 }
 
+#: Multi-bottleneck / reverse-path cells (the PR 5 `path` topology).
+PATH_CELLS = {
+    "parking-lot-2bn",
+    "chain-3hop",
+    "reverse-ack-congestion",
+    "multihop-mixed-aqm",
+    "cellular-multihop-tail",
+    "reverse-sfq-ack",
+}
+
 
 def _gate(cell_name: str) -> None:
     if not FULL_MATRIX and cell_name not in SMOKE_CELLS:
@@ -86,9 +96,22 @@ class TestRegistryShape:
         assert len(ALL_CELLS) >= 12
 
     def test_paper_figures_and_new_cells_registered(self):
-        missing = (PAPER_CELLS | NEW_CELLS) - set(ALL_CELLS)
+        missing = (PAPER_CELLS | NEW_CELLS | PATH_CELLS) - set(ALL_CELLS)
         assert not missing, f"cells missing from the registry: {sorted(missing)}"
         assert len(NEW_CELLS) >= 4
+
+    def test_path_topology_has_at_least_five_cells(self):
+        registered = set(scenario_names(topology="path"))
+        assert PATH_CELLS <= registered
+        assert len(registered) >= 5
+        # Coverage floor: at least one cell with a congestible reverse path,
+        # one with per-flow hop subsets (parking-lot cross traffic) and one
+        # trace-driven tail hop.
+        from repro.scenarios import get_scenario as resolve
+
+        assert any(resolve(n).network.reverse for n in registered)
+        assert any(resolve(n).network.forward_hops for n in registered)
+        assert any(resolve(n).trace is not None for n in registered)
 
     def test_every_topology_has_exactly_one_smoke_cell(self):
         # The tier-1 smoke subset is "one cell per topology": the smoke flag
@@ -184,3 +207,77 @@ def test_cell_serial_matches_process_pool(cell_name, pool_backend):
     assert simulation_fingerprint(pooled.result) == simulation_fingerprint(
         serial.result
     )
+
+
+# ---------------------------------------------------------------------------
+# Reverse-path determinism and the mix_seed-seeded sweep runner (always runs)
+# ---------------------------------------------------------------------------
+class TestReversePathDeterminism:
+    def _ack_delivery_order(self, cell_name: str) -> list[tuple[int, int, int]]:
+        """Exact ACK delivery order off the cell's reverse bottleneck."""
+        sim = get_scenario(cell_name).build()
+        link = sim.network.reverse_links[0]
+        original = link.deliver
+        order: list[tuple[int, int, int]] = []
+
+        def spy(packet):
+            order.append((packet.flow_id, packet.ack_seq, packet.seq))
+            original(packet)
+
+        link.connect(spy)
+        sim.run()
+        return order
+
+    @pytest.mark.parametrize("cell_name", ["reverse-ack-congestion", "reverse-sfq-ack"])
+    def test_reverse_ack_ordering_is_reproducible(self, cell_name):
+        # Stronger than result fingerprints: the exact per-packet order in
+        # which ACKs leave the congested reverse bottleneck — the product of
+        # queueing, DRR rotation and (time, sequence) event ordering — must
+        # replay identically for the cell's canonical seed.
+        first = self._ack_delivery_order(cell_name)
+        second = self._ack_delivery_order(cell_name)
+        assert len(first) > 100, "reverse path carried almost no ACKs"
+        assert first == second
+
+    def test_congested_reverse_cell_fingerprint_is_seed_deterministic(self):
+        cell = get_scenario("reverse-ack-congestion")
+        assert simulation_fingerprint(cell.run()) == simulation_fingerprint(cell.run())
+
+
+class TestScenarioSweep:
+    def test_sweep_seeds_are_mix_seed_derived_and_collision_free(self):
+        from repro.experiments.base import sweep_seed
+        from repro.runner.jobs import mix_seed
+
+        # The sweep derivation must be the SHA-mix, not arithmetic: cells
+        # with the same base seed get independent streams, and the pairs the
+        # old `base * 10_007 + run` arithmetic would collide stay distinct.
+        assert sweep_seed("a-cell", 0, 1) != sweep_seed("b-cell", 0, 1)
+        assert sweep_seed("a-cell", 1, 0) != sweep_seed("a-cell", 0, 10_007)
+        assert sweep_seed("a-cell", 3, 2) == mix_seed("scenario-sweep", "a-cell", 3, 2)
+
+    def test_sweep_grid_shape_and_determinism(self):
+        from repro.experiments.base import SchemeSpec, run_scenario_sweep
+        from repro.protocols.newreno import NewReno
+        from repro.protocols.vegas import Vegas
+
+        schemes = [SchemeSpec("NewReno", NewReno), SchemeSpec("Vegas", Vegas)]
+        cells = ["parking-lot-2bn", "reverse-ack-congestion"]
+
+        def sweep():
+            return run_scenario_sweep(cells, schemes, n_runs=2, duration=1.0)
+
+        first = sweep()
+        assert sorted(first) == sorted(cells)
+        for cell_name, summaries in first.items():
+            assert [s.scheme for s in summaries] == ["NewReno", "Vegas"]
+            n_flows = get_scenario(cell_name).network.n_flows
+            for summary in summaries:
+                # One point per active flow per run (inactive on/off flows
+                # contribute none).
+                assert 0 < len(summary.throughputs_mbps) <= 2 * n_flows
+        second = sweep()
+        for cell_name in cells:
+            for a, b in zip(first[cell_name], second[cell_name]):
+                assert a.throughputs_mbps == b.throughputs_mbps
+                assert a.queue_delays_ms == b.queue_delays_ms

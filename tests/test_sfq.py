@@ -41,6 +41,15 @@ def test_dequeue_empty_returns_none():
     assert queue.dequeue(0.0) is None
 
 
+def test_quantum_bytes_validated():
+    # A non-positive quantum would spin the grant-and-rotate DRR loop
+    # forever; it must be rejected at construction.
+    import pytest
+
+    with pytest.raises(ValueError, match="quantum_bytes"):
+        SfqCoDelQueue(quantum_bytes=0)
+
+
 def test_active_queue_count():
     queue = SfqCoDelQueue(n_queues=16)
     queue.enqueue(_packet(1, 0), 0.0)
@@ -84,38 +93,83 @@ class TestDequeueEdgeCases:
         # active rotation (not be revisited as an empty head) while flow 1's
         # bucket keeps rotating.
         assert queue.dequeue(0.0).flow_id == 0
-        assert queue._active == [bucket1]
+        assert list(queue._active) == [bucket1]
         assert queue.dequeue(0.0).flow_id == 1
         assert queue.dequeue(0.0).flow_id == 1
         assert queue.dequeue(0.0) is None
-        assert queue._active == []
+        assert list(queue._active) == []
 
         # A retired bucket going active again starts from a fresh quantum —
         # no deficit (positive or zero) carries across an idle period.
         queue.enqueue(_packet(0, 1), 1.0)
-        assert queue._active == [bucket0]
+        assert list(queue._active) == [bucket0]
         assert queue._deficit[bucket0] == queue.quantum_bytes
 
-    def test_quantum_carryover_with_undersized_quantum(self):
-        # 1000-byte quantum vs 1500-byte packets: the first service tops the
-        # deficit up once (1000 -> 2000 -> spend 1500 = 500 left), the second
-        # service spends the carryover (500 -> 1500 -> 0), alternating — the
-        # byte-deficit arithmetic the planned optimization must preserve.
+    def test_quantum_debt_with_undersized_quantum(self):
+        # 1000-byte quantum vs 1500-byte packets: a packet may overdraw the
+        # deficit by less than its own size; the debt is repaid by the
+        # one-quantum-per-visit grant, so the bucket averages exactly one
+        # quantum of bytes per round-robin visit (byte-accurate DRR) instead
+        # of the pre-fix one-packet-per-visit over-service.
         queue = SfqCoDelQueue(n_queues=8, quantum_bytes=1000)
         bucket = self._bucket(queue, 0)
         for seq in range(4):
             queue.enqueue(_packet(0, seq), 0.0)
 
-        # Service 1: 1000 -> top up 2000 -> spend 1500 = 500 carryover.
+        # Service 1: 1000 -> spend 1500 = -500 debt -> rotation grant = 500.
         assert queue.dequeue(0.0).seq == 0
         assert queue._deficit[bucket] == 500
-        # Service 2: 500 -> top up 1500 -> spend 1500 = 0; the re-append
-        # tops a zero deficit back up by exactly one quantum.
+        # Service 2: 500 -> spend 1500 = -1000 -> rotation grant = 0.
         assert queue.dequeue(0.0).seq == 1
-        assert queue._deficit[bucket] == 1000
-        # Service 3 repeats the cycle: the 500-byte carryover alternates.
+        assert queue._deficit[bucket] == 0
+        # Service 3: the visit finds the bucket in debt, grants a quantum
+        # without serving, rotates, and the next visit (same call) serves.
         assert queue.dequeue(0.0).seq == 2
         assert queue._deficit[bucket] == 500
+
+    def test_rotation_grant_refreshes_nonzero_leftover(self):
+        # The pre-fix discipline granted a rotated bucket a new quantum only
+        # when its deficit landed on *exactly* zero, so a bucket with a
+        # nonzero leftover was starved down to that leftover on every later
+        # round.  A rotation must now always carry a fresh grant.
+        queue = SfqCoDelQueue(n_queues=8, quantum_bytes=1500)
+        bucket = self._bucket(queue, 0)
+        # 1000-byte packets leave a 500-byte leftover after the first serve.
+        for seq in range(6):
+            queue.enqueue(Packet(flow_id=0, seq=seq, size_bytes=1000), 0.0)
+        # 1500 deficit serves one 1000-byte packet, leaving 500 (head kept).
+        assert queue.dequeue(0.0) is not None
+        assert queue._deficit[bucket] == 500
+        # The next serve overdraws (500 - 1000 = -500): the rotation grant
+        # tops it back up to a full 1000 — not the old "leftover only"
+        # starvation, which would have left it at 500 indefinitely.
+        assert queue.dequeue(0.0) is not None
+        assert queue._deficit[bucket] == -500 + queue.quantum_bytes
+
+    def test_mixed_packet_sizes_get_byte_fair_service(self):
+        # A 40-byte-ACK bucket sharing the gateway with a 1500-byte data
+        # bucket (the congested-reverse-path topology) must receive roughly
+        # one quantum of *bytes* per round, i.e. ~37 ACKs per data packet —
+        # not one packet per round.
+        queue = SfqCoDelQueue(n_queues=64, quantum_bytes=1500)
+        flow_ack, flow_data = 0, 1
+        assert queue._bucket(flow_ack) != queue._bucket(flow_data)
+        for seq in range(600):
+            queue.enqueue(Packet(flow_id=flow_ack, seq=seq, size_bytes=40), 0.0)
+        for seq in range(20):
+            queue.enqueue(Packet(flow_id=flow_data, seq=seq, size_bytes=1500), 0.0)
+
+        bytes_served = {flow_ack: 0, flow_data: 0}
+        for _ in range(200):
+            packet = queue.dequeue(0.0)
+            if packet is None:
+                break
+            bytes_served[packet.flow_id] += packet.size_bytes
+        assert bytes_served[flow_data] > 0
+        ratio = bytes_served[flow_ack] / bytes_served[flow_data]
+        # Byte-fair DRR keeps the byte split near 1:1; the pre-fix
+        # packet-per-visit rotation pinned it near 40:1500 ≈ 0.027.
+        assert 0.5 < ratio < 2.0
 
     def test_codel_in_dequeue_drops_release_to_freelist(self):
         # Packets CoDel drops from *inside* dequeue must go back to the

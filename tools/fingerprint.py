@@ -44,14 +44,14 @@ def cells_fingerprint(names=None) -> dict:
 
 def extras_fingerprint() -> dict:
     """Determinism cases beyond the scenario matrix (training, split trees,
-    the figure-harness batch path)."""
+    the figure-harness batch path, the path-sweep grid runner)."""
     from repro.core.config import ConfigRange, ParameterRange
     from repro.core.evaluator import Evaluator, EvaluatorSettings
     from repro.core.memory import Memory
     from repro.core.objective import Objective
     from repro.core.pretrained import pretrained_remycc
     from repro.core.whisker_tree import WhiskerTree
-    from repro.experiments.base import SchemeSpec
+    from repro.experiments.base import SchemeSpec, run_scenario_sweep
     from repro.experiments.dumbbell import run_figure4
     from repro.netsim.network import NetworkSpec
     from repro.netsim.simulator import Simulation
@@ -114,6 +114,25 @@ def extras_fingerprint() -> dict:
             "delays": [repr(v) for v in summary.queue_delays_ms],
         }
         for name, summary in result.summaries.items()
+    }
+
+    # Path-sweep grid runner (mix_seed per-run seeding, multi-bottleneck and
+    # congested-reverse topologies through the scheme/backend job path).
+    sweep = run_scenario_sweep(
+        ["parking-lot-2bn", "reverse-ack-congestion"],
+        [SchemeSpec("NewReno", NewReno), SchemeSpec("Vegas", Vegas)],
+        n_runs=2,
+        duration=1.5,
+    )
+    fp["path-sweep-mini"] = {
+        cell: {
+            summary.scheme: {
+                "tputs": [repr(v) for v in summary.throughputs_mbps],
+                "delays": [repr(v) for v in summary.queue_delays_ms],
+            }
+            for summary in summaries
+        }
+        for cell, summaries in sweep.items()
     }
     return fp
 

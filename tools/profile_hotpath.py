@@ -25,17 +25,14 @@ import pstats
 import sys
 from pathlib import Path
 
-from repro.core.pretrained import pretrained_remycc
-from repro.netsim.network import NetworkSpec
-from repro.netsim.sender import AlwaysOnWorkload
 from repro.netsim.simulator import Simulation
-from repro.protocols.newreno import NewReno
-from repro.protocols.remycc import RemyCCProtocol
+from repro.scenarios import BENCH_CASE_SCENARIOS as CASE_SCENARIOS
+from repro.scenarios import get_scenario
 
-#: Same case names as benchmarks/test_bench_simulator_speed.py.
 DEFAULT_CASES = [
     "newreno/droptail",
     "newreno/codel",
+    "newreno/twohop",
     "remy/droptail",
     "remy-training/droptail",
 ]
@@ -43,26 +40,11 @@ DEFAULT_CASES = [
 
 def build_simulation(case: str) -> Simulation:
     """The exact simulation the speed benchmark times for ``case``."""
-    kind, _, queue = case.partition("/")
-    spec = NetworkSpec(
-        link_rate_bps=10e6, rtt=0.05, n_flows=4, queue=queue, buffer_packets=500
-    )
-    if kind == "newreno":
-        protocols = [NewReno() for _ in range(4)]
-    elif kind in ("remy", "remy-training"):
-        tree = pretrained_remycc("delta1")
-        protocols = [
-            RemyCCProtocol(tree, training=kind == "remy-training") for _ in range(4)
-        ]
-    else:
-        raise SystemExit(f"unknown case kind {kind!r} (expected newreno/remy/remy-training)")
-    return Simulation(
-        spec,
-        protocols,
-        [AlwaysOnWorkload() for _ in range(4)],
-        duration=5.0,
-        seed=0,
-    )
+    if case not in CASE_SCENARIOS:
+        raise SystemExit(
+            f"unknown case {case!r} (expected one of {', '.join(CASE_SCENARIOS)})"
+        )
+    return get_scenario(CASE_SCENARIOS[case]).build(duration=5.0)
 
 
 def profile_case(case: str, sort: str, limit: int, dump_dir: Path | None) -> None:
