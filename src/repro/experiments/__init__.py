@@ -23,21 +23,29 @@ Module                          Reproduces
 from repro.experiments.base import (
     ExperimentResult,
     SchemeSpec,
+    legacy_seed,
     remycc_scheme,
     resolve_scenario,
+    run_cell_experiment,
     run_scenario_schemes,
+    run_scenario_sweep,
     run_scheme,
     run_schemes,
     standard_schemes,
+    sweep_seed,
 )
 
 __all__ = [
     "ExperimentResult",
     "SchemeSpec",
+    "legacy_seed",
     "remycc_scheme",
     "resolve_scenario",
+    "run_cell_experiment",
     "run_scenario_schemes",
+    "run_scenario_sweep",
     "run_scheme",
     "run_schemes",
     "standard_schemes",
+    "sweep_seed",
 ]

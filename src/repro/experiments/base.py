@@ -233,6 +233,21 @@ def resolve_scenario(scenario: Union[str, ScenarioSpec]) -> ScenarioSpec:
     return scenario
 
 
+#: Seed derivation used by the scenario sweep: ``(cell, base, run) -> seed``.
+SeedDerivation = Callable[[str, int, int], int]
+
+
+def legacy_seed(cell_name: str, base_seed: int, run_index: int) -> int:
+    """The recorded figures' historical per-run seed arithmetic.
+
+    Cell-independent by design: the committed figure outputs were generated
+    with ``base_seed * 10_007 + run_index`` before the sweep runner existed,
+    and the figure harnesses must keep reproducing them bit-identically.
+    New grids should use :func:`sweep_seed` (collision-free) instead.
+    """
+    return base_seed * 10_007 + run_index
+
+
 def run_scenario_schemes(
     scenario: Union[str, ScenarioSpec],
     schemes: Sequence[SchemeSpec],
@@ -247,20 +262,22 @@ def run_scenario_schemes(
     The cell supplies the topology (with any trace materialized), the
     per-flow workloads, and — when not overridden — its canonical duration
     and seed.  Each scheme still swaps in its own protocols and, if it needs
-    router support, its own queue discipline (exactly like
-    :func:`run_schemes`, which this wraps).
+    router support, its own queue discipline.  A single-cell
+    :func:`run_scenario_sweep` under the :func:`legacy_seed` derivation, so
+    the recorded figure outputs stay bit-identical.
     """
     cell = resolve_scenario(scenario)
-    return run_schemes(
+    sweep = run_scenario_sweep(
+        [cell],
         schemes,
-        cell.network_spec(),
-        cell.workload_factory(),
         n_runs=n_runs,
-        duration=cell.duration if duration is None else duration,
-        base_seed=cell.seed if base_seed is None else base_seed,
+        duration=duration,
         max_events=max_events,
         backend=backend,
+        base_seed=base_seed,
+        seed_derivation=legacy_seed,
     )
+    return sweep[cell.name]
 
 
 def sweep_seed(cell_name: str, base_seed: int, run_index: int) -> int:
@@ -282,23 +299,30 @@ def run_scenario_sweep(
     duration: Optional[float] = None,
     max_events: Optional[int] = None,
     backend: Optional[ExecutionBackend] = None,
+    base_seed: Optional[int] = None,
+    seed_derivation: Optional[SeedDerivation] = None,
 ) -> dict[str, list[SchemeSummary]]:
     """Run a ``cell × scheme × seed`` grid as ONE backend batch.
 
-    The sweep runner behind the multi-bottleneck/path matrix: every
+    The sweep runner behind the multi-bottleneck/path matrix and (via
+    :func:`run_scenario_schemes`) every figure harness: each
     ``(cell, scheme, run)`` simulation of the grid is independent, so the
     whole grid ships to the backend at once and a process pool stays
     saturated across cells, not just within one.  ``scenarios`` accepts
     registered names and/or explicit specs; ``None`` sweeps every registered
     cell.  Returns ``{cell name: [summary per scheme]}``.
 
-    Per-run seeds come from :func:`sweep_seed` — the collision-free
-    ``mix_seed`` derivation ROADMAP deferred for the recorded figures; the
-    figure harnesses keep their historical ``base_seed * 10_007 + run``
-    arithmetic so committed outputs stay bit-identical.
+    ``base_seed`` overrides every cell's canonical seed (the figure
+    harnesses expose it); ``seed_derivation`` maps ``(cell name, base seed,
+    run index)`` to each run's simulation seed.  The default is
+    :func:`sweep_seed` — the collision-free ``mix_seed`` derivation ROADMAP
+    deferred for the recorded figures; the figure harnesses pass
+    :func:`legacy_seed` so committed outputs stay bit-identical.
     """
     if n_runs <= 0:
         raise ValueError("n_runs must be positive")
+    if seed_derivation is None:
+        seed_derivation = sweep_seed
     cells = [resolve_scenario(s) for s in scenarios] if scenarios is not None else iter_scenarios()
     jobs: list[SimJob] = []
     boundaries: list[tuple[str, str, int]] = []  # (cell, scheme, end index)
@@ -306,7 +330,8 @@ def run_scenario_sweep(
         spec = cell.network_spec()
         workload_factory = cell.workload_factory()
         cell_duration = cell.duration if duration is None else duration
-        seed_for_run = lambda base, run, _name=cell.name: sweep_seed(_name, base, run)  # noqa: E731
+        cell_seed = cell.seed if base_seed is None else base_seed
+        seed_for_run = lambda base, run, _name=cell.name: seed_derivation(_name, base, run)  # noqa: E731
         for scheme in schemes:
             jobs.extend(
                 _scheme_jobs(
@@ -315,7 +340,7 @@ def run_scenario_sweep(
                     workload_factory,
                     n_runs,
                     cell_duration,
-                    cell.seed,
+                    cell_seed,
                     max_events,
                     first_job_id=len(jobs),
                     seed_for_run=seed_for_run,
@@ -368,3 +393,37 @@ class ExperimentResult:
             reverse=True,
         )
         return f"== {self.name} ==\n" + format_summary_table(ordered)
+
+
+def run_cell_experiment(
+    name: str,
+    scenario: Union[str, ScenarioSpec],
+    schemes: Optional[Sequence[SchemeSpec]] = None,
+    n_runs: int = 4,
+    duration: Optional[float] = None,
+    base_seed: Optional[int] = None,
+    max_events: Optional[int] = None,
+    backend: Optional[ExecutionBackend] = None,
+    parameters: Optional[dict[str, object]] = None,
+) -> ExperimentResult:
+    """One figure-style experiment: a cell, a scheme set, one folded result.
+
+    The shared tail of every ``run_figure*`` harness — resolve the default
+    scheme list, run the whole ``scheme × run`` fan-out as one backend batch
+    (a single-cell :func:`run_scenario_sweep` under :func:`legacy_seed`
+    seeding, so recorded outputs are bit-identical) and fold the summaries
+    into an :class:`ExperimentResult`.
+    """
+    schemes = list(schemes) if schemes is not None else standard_schemes()
+    result = ExperimentResult(name=name, parameters=dict(parameters or {}))
+    for summary in run_scenario_schemes(
+        scenario,
+        schemes,
+        n_runs=n_runs,
+        duration=duration,
+        base_seed=base_seed,
+        max_events=max_events,
+        backend=backend,
+    ):
+        result.add(summary)
+    return result

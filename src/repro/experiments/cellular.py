@@ -18,8 +18,7 @@ from typing import Optional, Sequence
 from repro.experiments.base import (
     ExperimentResult,
     SchemeSpec,
-    run_schemes,
-    standard_schemes,
+    run_cell_experiment,
 )
 from repro.netsim.network import NetworkSpec
 from repro.runner import ExecutionBackend
@@ -55,37 +54,29 @@ def _run_cellular(
     backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
     # The registry cell carries the topology; the trace is re-described at
-    # the harness's duration so it covers the whole run without cycling,
-    # then materialized exactly once for both the packet count and the runs.
+    # the harness's duration so it covers the whole run without cycling.
+    # Trace materialization is seed-deterministic, so the packet count
+    # recorded below matches the trace each run replays.
     cell = get_scenario(base_cell).override(
         n_flows=n_flows,
         trace=TraceSpec(trace_kind, duration_seconds=duration, seed=trace_seed),
     )
-    spec = cell.network_spec()
-    schemes = list(schemes) if schemes is not None else standard_schemes()
-
-    result = ExperimentResult(
+    return run_cell_experiment(
         name=name,
-        parameters={
-            "n_flows": n_flows,
-            "rtt_seconds": 0.050,
-            "trace_packets": len(spec.delivery_trace),
-            "n_runs": n_runs,
-            "duration": duration,
-        },
-    )
-    # One batch covers the whole figure (scheme × run fan-out).
-    for summary in run_schemes(
-        schemes,
-        spec,
-        cell.workload_factory(),
+        scenario=cell,
+        schemes=schemes,
         n_runs=n_runs,
         duration=duration,
         base_seed=base_seed,
         backend=backend,
-    ):
-        result.add(summary)
-    return result
+        parameters={
+            "n_flows": n_flows,
+            "rtt_seconds": 0.050,
+            "trace_packets": len(cell.network_spec().delivery_trace),
+            "n_runs": n_runs,
+            "duration": duration,
+        },
+    )
 
 
 def run_figure7(

@@ -18,8 +18,7 @@ from typing import Optional, Sequence
 from repro.experiments.base import (
     ExperimentResult,
     SchemeSpec,
-    run_scenario_schemes,
-    standard_schemes,
+    run_cell_experiment,
 )
 from repro.netsim.network import NetworkSpec
 from repro.runner import ExecutionBackend
@@ -66,10 +65,14 @@ def run_figure4(
             mean_flow_bytes=mean_flow_bytes, mean_off_seconds=mean_off_seconds
         ),
     )
-    schemes = list(schemes) if schemes is not None else standard_schemes()
-
-    result = ExperimentResult(
+    return run_cell_experiment(
         name=f"Figure 4: dumbbell, n={n_flows}, {mean_flow_bytes / 1e3:.0f} kB flows",
+        scenario=cell,
+        schemes=schemes,
+        n_runs=n_runs,
+        duration=duration,
+        base_seed=base_seed,
+        backend=backend,
         parameters={
             "link_rate_bps": cell.network.link_rate_bps,
             "rtt_seconds": 0.150,
@@ -80,17 +83,6 @@ def run_figure4(
             "duration": duration,
         },
     )
-    # One batch covers the whole figure (scheme × run fan-out).
-    for summary in run_scenario_schemes(
-        cell,
-        schemes,
-        n_runs=n_runs,
-        duration=duration,
-        base_seed=base_seed,
-        backend=backend,
-    ):
-        result.add(summary)
-    return result
 
 
 def run_figure5(
@@ -117,10 +109,14 @@ def run_figure5(
             mean_off_seconds=mean_off_seconds,
         ),
     )
-    schemes = list(schemes) if schemes is not None else standard_schemes()
-
-    result = ExperimentResult(
+    return run_cell_experiment(
         name=f"Figure 5: dumbbell, n={n_flows}, ICSI flow lengths",
+        scenario=cell,
+        schemes=schemes,
+        n_runs=n_runs,
+        duration=duration,
+        base_seed=base_seed,
+        backend=backend,
         parameters={
             "link_rate_bps": cell.network.link_rate_bps,
             "rtt_seconds": 0.150,
@@ -131,14 +127,3 @@ def run_figure5(
             "duration": duration,
         },
     )
-    # One batch covers the whole figure (scheme × run fan-out).
-    for summary in run_scenario_schemes(
-        cell,
-        schemes,
-        n_runs=n_runs,
-        duration=duration,
-        base_seed=base_seed,
-        backend=backend,
-    ):
-        result.add(summary)
-    return result

@@ -54,7 +54,7 @@ class REDQueue(QueueDiscipline):
         dctcp_mode: bool = False,
         rng: Optional[random.Random] = None,
         idle_decay_seconds: float = 0.001,
-    ):
+    ) -> None:
         super().__init__()
         if capacity_packets <= 0:
             raise ValueError("capacity must be positive")
@@ -180,7 +180,7 @@ class CoDelQueue(QueueDiscipline):
         target: float = 0.005,
         interval: float = 0.100,
         ecn: bool = False,
-    ):
+    ) -> None:
         super().__init__()
         if capacity_packets <= 0:
             raise ValueError("capacity must be positive")

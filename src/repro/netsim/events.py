@@ -63,7 +63,7 @@ class Event:
 
     __slots__ = ("_entry", "_scheduler", "cancelled")
 
-    def __init__(self, entry: list, scheduler: "EventScheduler"):
+    def __init__(self, entry: list[Any], scheduler: "EventScheduler") -> None:
         self._entry = entry
         self._scheduler = scheduler
         self.cancelled = False
@@ -94,14 +94,14 @@ class EventScheduler:
 
     __slots__ = ("_heap", "_ready", "_sequence", "now", "_processed", "_pending")
 
-    def __init__(self, start_time: float = 0.0):
-        self._heap: list[list] = []
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._heap: list[list[Any]] = []
         #: Same-time FIFO lane: entries due at the current instant, appended
         #: in sequence order (each append happens at a ``now`` no earlier and
         #: a sequence number strictly greater than the one before it), so the
         #: lane is always sorted by ``(time, sequence)`` and its head can be
         #: merged against the heap top with one list comparison.
-        self._ready: deque[list] = deque()
+        self._ready: deque[list[Any]] = deque()
         self._sequence = 0
         #: Current simulation time in seconds.  A plain attribute (not a
         #: property): it is read on every hop of the per-packet hot path.
@@ -120,7 +120,7 @@ class EventScheduler:
         return self._pending
 
     # ------------------------------------------------------------------ scheduling
-    def _push(self, time: float, callback: Callable[..., None], args: tuple) -> list:
+    def _push(self, time: float, callback: Callable[..., None], args: tuple[Any, ...]) -> list[Any]:
         now = self.now
         if time < now:
             if time < now - 1e-12:
@@ -195,7 +195,7 @@ class EventScheduler:
         self._sequence += 1
         self._pending += 1
 
-    def post_entry_after(self, delay: float, callback: Callable[..., None], *args: Any) -> list:
+    def post_entry_after(self, delay: float, callback: Callable[..., None], *args: Any) -> list[Any]:
         """Like :meth:`post_after`, but return the raw heap entry.
 
         The entry doubles as a zero-allocation cancellation token for
@@ -211,11 +211,11 @@ class EventScheduler:
         self._pending += 1
         return entry
 
-    def post_entry(self, time: float, callback: Callable[..., None], *args: Any) -> list:
+    def post_entry(self, time: float, callback: Callable[..., None], *args: Any) -> list[Any]:
         """Absolute-time variant of :meth:`post_entry_after`."""
         return self._push(time, callback, args)
 
-    def cancel_entry(self, entry: list) -> None:
+    def cancel_entry(self, entry: list[Any]) -> None:
         """Cancel a raw entry from :meth:`post_entry_after` (no-op if done)."""
         if entry[2] is not None:
             entry[2] = None

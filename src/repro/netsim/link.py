@@ -28,7 +28,7 @@ class LinkBase:
         queue: Optional[QueueDiscipline] = None,
         propagation_delay: float = 0.0,
         name: str = "link",
-    ):
+    ) -> None:
         self.scheduler = scheduler
         self.queue = queue if queue is not None else DropTailQueue()
         self.propagation_delay = propagation_delay
@@ -104,7 +104,7 @@ class ConstantRateLink(LinkBase):
         queue: Optional[QueueDiscipline] = None,
         propagation_delay: float = 0.0,
         name: str = "link",
-    ):
+    ) -> None:
         super().__init__(scheduler, queue, propagation_delay, name)
         if rate_bps <= 0:
             raise ValueError(f"link rate must be positive, got {rate_bps}")
@@ -185,7 +185,7 @@ class TraceDrivenLink(LinkBase):
         propagation_delay: float = 0.0,
         cyclic: bool = True,
         name: str = "trace-link",
-    ):
+    ) -> None:
         super().__init__(scheduler, queue, propagation_delay, name)
         if len(delivery_times) == 0:
             raise ValueError("delivery_times must not be empty")

@@ -296,7 +296,7 @@ class DumbbellNetwork:
         scheduler: EventScheduler,
         spec: NetworkSpec,
         rng: Optional[random.Random] = None,
-    ):
+    ) -> None:
         self.scheduler = scheduler
         self.spec = spec
         self.rng = rng if rng is not None else random.Random(0)

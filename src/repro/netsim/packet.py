@@ -97,7 +97,7 @@ class Packet:
         size_bytes: int = DATA_PACKET_BYTES,
         sent_time: float = 0.0,
         is_ack: bool = False,
-    ):
+    ) -> None:
         self.flow_id = flow_id
         self.seq = seq
         self.size_bytes = size_bytes
@@ -195,7 +195,7 @@ class PacketPool:
 
     __slots__ = ("_free", "allocated", "recycled", "released", "_live")
 
-    def __init__(self, debug: bool = False):
+    def __init__(self, debug: bool = False) -> None:
         self._free: list[Packet] = []
         #: Fresh constructions (freelist misses).
         self.allocated = 0

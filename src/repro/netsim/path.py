@@ -343,7 +343,7 @@ class PathNetwork:
         scheduler: EventScheduler,
         spec: PathSpec,
         rng: Optional[random.Random] = None,
-    ):
+    ) -> None:
         self.scheduler = scheduler
         self.spec = spec
         self.rng = rng if rng is not None else random.Random(0)

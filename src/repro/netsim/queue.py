@@ -55,7 +55,7 @@ class DropTailQueue(QueueDiscipline):
     evaluation topologies.
     """
 
-    def __init__(self, capacity_packets: int = 1000):
+    def __init__(self, capacity_packets: int = 1000) -> None:
         super().__init__()
         if capacity_packets <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_packets}")

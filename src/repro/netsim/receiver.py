@@ -26,7 +26,7 @@ class Receiver:
         scheduler: EventScheduler,
         send_ack: Optional[SendAckFn] = None,
         stats: Optional[FlowStats] = None,
-    ):
+    ) -> None:
         self.flow_id = flow_id
         self.scheduler = scheduler
         self.send_ack = send_ack

@@ -81,7 +81,7 @@ class Workload:
 class AlwaysOnWorkload(Workload):
     """A source that switches on at ``start_delay`` and never stops."""
 
-    def __init__(self, start_delay: float = 0.0):
+    def __init__(self, start_delay: float = 0.0) -> None:
         if start_delay < 0:
             raise ValueError("start_delay cannot be negative")
         self.start_delay = start_delay
@@ -119,7 +119,7 @@ class Sender:
         rng: Optional[random.Random] = None,
         trace_sequence: bool = False,
         pool: Optional[PacketPool] = None,
-    ):
+    ) -> None:
         self.flow_id = flow_id
         self.scheduler = scheduler
         self.cc = cc

@@ -59,7 +59,7 @@ class SfqCoDelQueue(QueueDiscipline):
         quantum_bytes: int = 1500,
         target: float = 0.005,
         interval: float = 0.100,
-    ):
+    ) -> None:
         super().__init__()
         if n_queues <= 0:
             raise ValueError("n_queues must be positive")
@@ -100,7 +100,7 @@ class SfqCoDelQueue(QueueDiscipline):
         queue = self._queues[bucket]
         was_empty = len(queue) == 0
         if not queue.enqueue(packet, now):
-            self.drops += 1  # sub-queue already released the packet
+            self.drops += 1  # noqa: PKT001 — sub-queue already released the packet
             return False
         self._total_packets += 1
         self._total_bytes += packet.size_bytes
@@ -156,7 +156,7 @@ class SfqCoDelQueue(QueueDiscipline):
                     - queue.bytes_queued()
                     - (packet.size_bytes if packet is not None else 0)
                 )
-                self.drops += consumed
+                self.drops += consumed  # noqa: PKT001 — sub-queue CoDel released the dropped packets
             if packet is None:
                 # CoDel drained the bucket during service: retire it.
                 active.popleft()

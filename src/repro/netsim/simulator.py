@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from repro.netsim.events import EventScheduler
+from repro.netsim.invariants import InvariantChecker
 from repro.netsim.network import DumbbellNetwork, NetworkSpec
 from repro.netsim.packet import PacketPool
 from repro.netsim.path import PathNetwork, PathSpec
@@ -102,6 +103,11 @@ class Simulation:
     trace_flows:
         Flow ids whose (time, cumulative-ack) trajectory should be recorded
         (used by the Figure 6 convergence experiment).
+    debug_invariants:
+        Arm the runtime sanitizer (:mod:`repro.netsim.invariants`):
+        conservation, monotonic time and queue-accounting checks on a
+        sampling schedule and at completion.  Results stay bit-identical;
+        implies the debug packet pool when pooling is enabled.
     """
 
     def __init__(
@@ -115,7 +121,8 @@ class Simulation:
         max_events: Optional[int] = None,
         use_packet_pool: bool = True,
         debug_packet_pool: bool = False,
-    ):
+        debug_invariants: bool = False,
+    ) -> None:
         if len(protocols) != spec.n_flows:
             raise ValueError(
                 f"got {len(protocols)} protocols for {spec.n_flows} flows"
@@ -140,8 +147,13 @@ class Simulation:
         #: it off (``use_packet_pool=False``), which the packet-pool tests
         #: exploit; ``debug_packet_pool=True`` arms double-free and leak
         #: detection at some bookkeeping cost.
+        #: ``debug_invariants`` additionally arms the pool's leak detector:
+        #: the sanitizer's conservation identity needs an exact in-flight
+        #: count, which only the debug pool tracks.
         self.packet_pool: Optional[PacketPool] = (
-            PacketPool(debug=debug_packet_pool) if use_packet_pool else None
+            PacketPool(debug=debug_packet_pool or debug_invariants)
+            if use_packet_pool
+            else None
         )
         self.master_rng = random.Random(seed)
         #: The topology spec builds its own network class (dumbbell fast
@@ -150,6 +162,12 @@ class Simulation:
         #: per-flow random streams of existing dumbbell runs.
         self.network: Union[DumbbellNetwork, PathNetwork] = spec.build_network(
             self.scheduler, rng=random.Random(self.master_rng.getrandbits(32))
+        )
+        #: Runtime sanitizer (see :mod:`repro.netsim.invariants`).  Built
+        #: before the flows so its counting wrappers are in place when
+        #: ``attach_flow`` captures the delivery callbacks.
+        self.invariant_checker: Optional[InvariantChecker] = (
+            InvariantChecker(self) if debug_invariants else None
         )
         self.senders: list[Sender] = []
         self.receivers: list[Receiver] = []
@@ -171,17 +189,23 @@ class Simulation:
                 pool=self.packet_pool,
             )
             receiver = Receiver(flow_id, self.scheduler, stats=stats)
+            if self.invariant_checker is not None:
+                self.invariant_checker.instrument_flow(sender, receiver)
             self.network.attach_flow(flow_id, sender, receiver)
             self.senders.append(sender)
             self.receivers.append(receiver)
 
     def run(self) -> SimulationResult:
         """Execute the simulation and return per-flow statistics."""
+        if self.invariant_checker is not None:
+            self.invariant_checker.arm()
         for sender in self.senders:
             sender.start()
         self.scheduler.run_until(self.duration, max_events=self.max_events)
         for sender in self.senders:
             sender.finalize(self.duration)
+        if self.invariant_checker is not None:
+            self.invariant_checker.final_check()
         return SimulationResult(
             duration=self.duration,
             flow_stats=[sender.stats for sender in self.senders],

@@ -35,7 +35,7 @@ class FlowStats:
     max_queue_delay: float = 0.0
     #: (time, sequence) points for convergence plots (only populated when the
     #: simulation is asked to trace a flow — see Figure 6).
-    sequence_trace: list = field(default_factory=list)
+    sequence_trace: list[tuple[float, int]] = field(default_factory=list)
 
     # -- recording -----------------------------------------------------------
     def record_delivery(self, size_bytes: int) -> None:

@@ -69,7 +69,7 @@ class ExecutionBackend(ABC):
     def __enter__(self) -> "ExecutionBackend":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -114,7 +114,7 @@ class ProcessPoolBackend(ExecutionBackend):
 
     shares_memory = False
 
-    def __init__(self, max_workers: Optional[int] = None, chunk_jobs: Optional[int] = None):
+    def __init__(self, max_workers: Optional[int] = None, chunk_jobs: Optional[int] = None) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         if chunk_jobs is not None and chunk_jobs <= 0:

@@ -521,6 +521,33 @@ register_scenario(
     )
 )
 
+register_scenario(
+    ScenarioSpec(
+        name="reverse-split-ack",
+        description=(
+            "Disjoint reverse ACK routes: four NewReno flows share one "
+            "10 Mbps forward bottleneck but return their ACKs over two "
+            "disjoint reverse hops — flows 0/1 through an overloaded "
+            "100 kbps link that drops ACKs, flows 2/3 through a roomier "
+            "500 kbps link (per-flow reverse_hops routing)"
+        ),
+        topology="path",
+        network=PathSpec(
+            forward=(LinkSpec(rate_bps=10e6, buffer_packets=400),),
+            reverse=(
+                LinkSpec(rate_bps=100e3, buffer_packets=25),
+                LinkSpec(rate_bps=500e3, buffer_packets=100),
+            ),
+            reverse_hops=((0,), (0,), (1,), (1,)),
+            rtt=0.060,
+            n_flows=4,
+        ),
+        protocols=(ProtocolSpec("newreno"),),
+        duration=2.5,
+        seed=307,
+    )
+)
+
 
 # ---------------------------------------------------------------------------
 # Benchmark cells (the events/sec harness builds these with duration=5.0)

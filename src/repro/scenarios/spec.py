@@ -264,6 +264,7 @@ class ScenarioSpec:
         max_events: Optional[int] = None,
         use_packet_pool: bool = True,
         debug_packet_pool: bool = False,
+        debug_invariants: bool = False,
     ) -> Simulation:
         """Materialize the cell into a ready-to-run :class:`Simulation`."""
         return Simulation(
@@ -275,6 +276,7 @@ class ScenarioSpec:
             max_events=max_events,
             use_packet_pool=use_packet_pool,
             debug_packet_pool=debug_packet_pool,
+            debug_invariants=debug_invariants,
         )
 
     def run(self, **build_kwargs) -> SimulationResult:

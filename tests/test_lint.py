@@ -1,0 +1,174 @@
+"""Self-tests for the custom AST lint pass (``tools/lint``).
+
+Every rule ships with positive/negative fixture files under
+``tools/lint/fixtures/``; the positive ("bad") fixtures carry
+``# expected: RULE`` trailing comments on each line that must be flagged,
+and these tests assert the rule reports *exactly* those (line, rule) pairs
+— no misses, no extras.  The suite also locks in the acceptance criteria:
+the linter runs clean over ``src/`` itself, and reintroducing a seeded
+violation (the PR 4 pool-leak, a module-level ``random.random()``) is
+caught.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.lint import (
+    Violation,
+    iter_python_files,
+    lint_paths,
+    load_module,
+    run_rules,
+)
+from tools.lint.rules import all_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tools" / "lint" / "fixtures"
+
+BAD_FIXTURES = sorted(
+    path for path in FIXTURES.rglob("bad_*.py")
+)
+GOOD_FIXTURES = sorted(
+    path for path in FIXTURES.rglob("good_*.py")
+)
+
+
+def expected_markers(path: Path) -> list[tuple[int, str]]:
+    """(line, rule_id) pairs from ``# expected: RULE`` trailing comments."""
+    markers = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if "# expected: " in line:
+            markers.append((lineno, line.rsplit("# expected: ", 1)[1].strip()))
+    return sorted(markers)
+
+
+def lint_file(path: Path) -> list[Violation]:
+    return run_rules([load_module(path)], all_rules())
+
+
+class TestFixtures:
+    def test_fixture_tree_is_complete(self):
+        # One bad + one good fixture per rule, and every rule is exercised.
+        assert len(BAD_FIXTURES) == 5
+        assert len(GOOD_FIXTURES) == 5
+        covered = {rule for path in BAD_FIXTURES for _, rule in expected_markers(path)}
+        assert covered == {rule.rule_id for rule in all_rules()}
+
+    @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
+    def test_bad_fixture_flags_exactly_the_marked_lines(self, path):
+        markers = expected_markers(path)
+        assert markers, f"{path} has no '# expected:' markers"
+        got = sorted((v.line, v.rule_id) for v in lint_file(path))
+        assert got == markers
+
+    @pytest.mark.parametrize("path", GOOD_FIXTURES, ids=lambda p: p.stem)
+    def test_good_fixture_is_clean(self, path):
+        assert lint_file(path) == []
+
+    def test_fixtures_excluded_from_directory_walks(self):
+        # ``python -m tools.lint tools/`` must not trip over its own
+        # seeded-violation corpus.
+        walked = iter_python_files([REPO_ROOT / "tools"])
+        assert not any("fixtures" in path.parts for path in walked)
+
+
+class TestSeededViolations:
+    """The acceptance-named regressions are caught when reintroduced."""
+
+    def test_pr4_pool_leak_class_is_caught(self):
+        # bad_drop_leak.py reintroduces the PR 3/4 bug shape: a drop sink
+        # that counts the drop but never releases the pooled packet.
+        violations = lint_file(FIXTURES / "packets" / "bad_drop_leak.py")
+        assert {v.rule_id for v in violations} == {"PKT001"}
+        assert len(violations) == 3
+
+    def test_module_level_random_is_caught(self):
+        violations = lint_file(FIXTURES / "determinism" / "bad_module_random.py")
+        messages = [v.message for v in violations]
+        assert any("random.random()" in m for m in messages)
+        assert all(v.rule_id == "RND001" for v in violations)
+
+    def test_seeded_violation_in_copied_netsim_source(self, tmp_path):
+        # Grafting a module-level draw into a *real* simulator file is
+        # caught — the rules are not fixture-shaped.
+        netsim = tmp_path / "netsim"
+        netsim.mkdir()
+        source = (REPO_ROOT / "src" / "repro" / "netsim" / "queue.py").read_text()
+        mutated = netsim / "queue.py"
+        text = source + "\n\nJITTER = random.random()\n"
+        mutated.write_text(text)
+        seeded_line = next(
+            i for i, line in enumerate(text.splitlines(), 1) if "JITTER" in line
+        )
+        violations = lint_paths([netsim])
+        assert [(v.rule_id, v.line) for v in violations] == [("RND001", seeded_line)]
+
+
+class TestSuppression:
+    def test_noqa_silences_only_the_named_rule(self, tmp_path):
+        target = tmp_path / "leak.py"
+        target.write_text(
+            "class Q:\n"
+            "    def enqueue(self, packet):\n"
+            "        self.drops += 1  # noqa: PKT001 — handed to the wire\n"
+            "        self.link_losses += 1  # noqa: ORD001 (wrong rule)\n"
+        )
+        violations = lint_paths([target])
+        assert [(v.rule_id, v.line) for v in violations] == [("PKT001", 4)]
+
+    def test_bare_noqa_silences_every_rule(self, tmp_path):
+        target = tmp_path / "leak.py"
+        target.write_text(
+            "class Q:\n"
+            "    def enqueue(self, packet):\n"
+            "        self.drops += 1  # noqa\n"
+        )
+        assert lint_paths([target]) == []
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_passes_every_rule(self):
+        violations = lint_paths([REPO_ROOT / "src"])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_tools_tree_passes_every_rule(self):
+        violations = lint_paths([REPO_ROOT / "tools"])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+
+class TestCommandLine:
+    def run_cli(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "tools.lint", *args],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_clean_tree_exits_zero(self):
+        proc = self.run_cli("src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_violations_exit_one_with_rendered_locations(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nSEED = random.random()\n")
+        proc = self.run_cli(str(bad))
+        assert proc.returncode == 1
+        assert "RND001" in proc.stdout
+        assert "bad.py:2:" in proc.stdout
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        proc = self.run_cli(str(broken))
+        assert proc.returncode == 2
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nSEED = random.random()\n")
+        proc = self.run_cli("--select", "PKT001", str(bad))
+        assert proc.returncode == 0

@@ -12,7 +12,11 @@ For each cell of the scenario registry this suite checks:
 * **backend parity** — a :class:`~repro.runner.ProcessPoolBackend` run of the
   cell's :class:`~repro.runner.SimJob` matches the serial run, including for
   cells with mixed protocol sets (which ship as a registry name and are
-  materialized in the worker).
+  materialized in the worker);
+* **sanitizer parity** — the cell passes every runtime invariant check
+  (``debug_invariants=True``; conservation, monotonic time, queue
+  accounting) and the instrumented run still reproduces the committed
+  fingerprint bit-exactly.
 
 Gating: registry-shape tests always run.  Per-cell simulations run for the
 tier-1 *smoke subset* (one ``smoke=True`` cell per topology) by default; set
@@ -71,6 +75,7 @@ PATH_CELLS = {
     "multihop-mixed-aqm",
     "cellular-multihop-tail",
     "reverse-sfq-ack",
+    "reverse-split-ack",
 }
 
 
@@ -196,6 +201,21 @@ def test_cell_pooled_matches_unpooled(cell_name):
     )
     unpooled = simulation_fingerprint(cell.run(use_packet_pool=False))
     assert pooled == unpooled
+
+
+@pytest.mark.parametrize("cell_name", ALL_CELLS)
+def test_cell_passes_under_invariant_sanitizer(cell_name):
+    # Two contracts at once: the cell survives every runtime invariant
+    # check (conservation, monotonic time, queue accounting — see
+    # repro.netsim.invariants), and the sanitizer is observationally free —
+    # the instrumented run reproduces the committed fingerprint, which was
+    # generated with the sanitizer off.
+    _gate(cell_name)
+    golden = load_golden()
+    fingerprint = simulation_fingerprint(
+        get_scenario(cell_name).run(debug_invariants=True)
+    )
+    assert fingerprint == golden[cell_name]
 
 
 @pytest.mark.parametrize("cell_name", ALL_CELLS)

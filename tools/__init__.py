@@ -1,0 +1,1 @@
+"""Developer tooling for the reproduction (not shipped with the package)."""

@@ -1,0 +1,76 @@
+"""CLI entry point: ``python -m tools.lint [paths...]``.
+
+Exit status: 0 when clean, 1 when any rule fired, 2 on unparsable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.lint import iter_python_files, load_module, run_rules
+from tools.lint.rules import all_rules
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="AST lint pass for the simulator's determinism and "
+        "packet-ownership invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in sorted(rules, key=lambda r: r.rule_id):
+            print(f"{rule.rule_id}  {rule.description}")
+        return 0
+    if args.select:
+        wanted = {code.strip() for code in args.select.split(",") if code.strip()}
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            parser.error(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    files = iter_python_files(Path(p) for p in args.paths)
+    if not files:
+        print("no python files found", file=sys.stderr)
+        return 2
+    modules = []
+    for path in files:
+        try:
+            modules.append(load_module(path))
+        except SyntaxError as exc:
+            print(f"{path}: syntax error: {exc}", file=sys.stderr)
+            return 2
+
+    violations = run_rules(modules, rules)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(
+            f"\n{len(violations)} violation(s) in {len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""RND001 fixture: ambient entropy sources the determinism contract bans.
+
+Reintroduces the exact violation class the golden fingerprints exist to
+prevent: module-level ``random.random()`` draws from a hidden global Random
+whose state depends on import order, not the simulation seed.
+"""
+
+import os
+import random
+import time
+
+
+JITTER = random.random()  # expected: RND001
+
+
+def pick_backoff(attempt: int) -> float:
+    return random.uniform(0, 2**attempt)  # expected: RND001
+
+
+def stamp_packet() -> float:
+    return time.time()  # expected: RND001
+
+
+def flow_token() -> bytes:
+    return os.urandom(8)  # expected: RND001
+
+
+def shuffled(values: list) -> list:
+    values = list(values)
+    random.shuffle(values)  # expected: RND001
+    return values

@@ -1,0 +1,19 @@
+"""RND001 negative fixture: the sanctioned pattern — a threaded Random.
+
+Every draw goes through a ``random.Random`` the caller seeded; the only
+``random`` attribute touched is the ``Random`` constructor itself.
+"""
+
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def pick_backoff(rng: random.Random, attempt: int) -> float:
+    return rng.uniform(0, 2**attempt)
+
+
+def derive_stream(master: random.Random) -> random.Random:
+    return random.Random(master.getrandbits(32))

@@ -1,0 +1,23 @@
+"""SLT001 fixture: a slot-less class allocated once per delivered packet.
+
+Without ``__slots__`` every instance carries a dict, which is both slower
+to allocate and lets attribute typos create new state silently — on a path
+that runs hundreds of thousands of times per simulated second.
+"""
+
+
+class DeliveryRecord:
+    def __init__(self, seq: int, when: float) -> None:
+        self.seq = seq
+        self.when = when
+
+
+class Hop:
+    def __init__(self) -> None:
+        self.log: list = []
+
+    def on_packet(self, seq: int, now: float) -> None:
+        self.log.append(DeliveryRecord(seq, now))  # expected: SLT001
+
+    def dequeue(self, now: float):
+        return DeliveryRecord(-1, now)  # expected: SLT001

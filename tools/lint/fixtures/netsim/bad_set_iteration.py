@@ -1,0 +1,30 @@
+"""ORD001 fixture: walking set contents inside a netsim-scoped module.
+
+Set iteration order is an implementation detail (id-keyed sets differ per
+process), so any of these loops can reorder floating-point accumulation or
+event emission between two runs of the same seed.
+"""
+
+
+class ReorderBuffer:
+    def __init__(self) -> None:
+        self.waiting: set[int] = set()
+        self.flushed = 0
+
+    def flush(self) -> list[int]:
+        order = []
+        for seq in self.waiting:  # expected: ORD001
+            order.append(seq)
+        return order
+
+    def flush_ids(self) -> list[int]:
+        return [seq for seq in self.waiting]  # expected: ORD001
+
+    def flush_literal(self) -> list[int]:
+        return [x for x in {3, 1, 2}]  # expected: ORD001
+
+
+def drain(tokens):
+    pending = set(tokens)
+    for token in pending:  # expected: ORD001
+        yield token

@@ -1,0 +1,28 @@
+"""ORD001 negative fixture: the sanctioned uses of sets in netsim.
+
+Membership tests and mutation are order-free; when the contents must be
+walked, a ``sorted()`` copy pins the order deterministically.
+"""
+
+
+class ReorderBuffer:
+    def __init__(self) -> None:
+        self.waiting: set[int] = set()
+        self.next_expected = 0
+
+    def on_packet(self, seq: int) -> None:
+        if seq == self.next_expected:
+            self.next_expected += 1
+            while self.next_expected in self.waiting:
+                self.waiting.discard(self.next_expected)
+                self.next_expected += 1
+        else:
+            self.waiting.add(seq)
+
+    def snapshot(self) -> list[int]:
+        return [seq for seq in sorted(self.waiting)]
+
+
+def drain(tokens: list) -> list:
+    for token in tokens:
+        yield token

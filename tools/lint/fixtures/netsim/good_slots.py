@@ -1,0 +1,48 @@
+"""SLT001 negative fixture: per-event allocations that declare their slots.
+
+Slotted classes, ``dataclass(slots=True)`` and ``NamedTuple`` records are
+all fine on the per-event path; so are slot-less classes only built at
+setup time (``__init__``/``build_*`` are not per-event methods).
+"""
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+
+class DeliveryRecord:
+    __slots__ = ("seq", "when")
+
+    def __init__(self, seq: int, when: float) -> None:
+        self.seq = seq
+        self.when = when
+
+
+@dataclass(slots=True)
+class SentInfo:
+    seq: int
+    when: float
+
+
+class AckDigest(NamedTuple):
+    seq: int
+    when: float
+
+
+class SetupOnlyConfig:
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class Hop:
+    def __init__(self) -> None:
+        self.config = SetupOnlyConfig("hop")  # setup path: no slots needed
+        self.log: list = []
+
+    def on_packet(self, seq: int, now: float) -> None:
+        self.log.append(DeliveryRecord(seq, now))
+
+    def dequeue(self, now: float):
+        return SentInfo(-1, now)
+
+    def on_ack(self, seq: int, now: float) -> AckDigest:
+        return AckDigest(seq, now)

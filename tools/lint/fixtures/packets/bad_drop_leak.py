@@ -1,0 +1,41 @@
+"""PKT001 fixture: the PR 3/4 pool-leak class, reintroduced.
+
+Each drop branch counts the drop but never calls ``release()``, so the
+Packet-typed local goes out of scope still owned by nobody — exactly the
+leak the packet-pool debug mode caught in the AQM drop paths.
+"""
+
+
+class LeakyTailDropQueue:
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.drops = 0
+        self._queue: list = []
+
+    def enqueue(self, packet, now: float) -> bool:
+        if len(self._queue) >= self.capacity:
+            self.drops += 1  # expected: PKT001
+            return False
+        self._queue.append(packet)
+        return True
+
+
+class LeakyLossGate:
+    def __init__(self) -> None:
+        self.link_losses = 0
+        self.forward_losses = [0, 0]
+
+    def receive(self, packet, lossy: bool) -> None:
+        if lossy:
+            self.link_losses += 1  # expected: PKT001
+            return
+        self.forward(packet)
+
+    def hop_receive(self, index: int, packet, lossy: bool) -> None:
+        if lossy:
+            self.forward_losses[index] += 1  # expected: PKT001
+            return
+        self.forward(packet)
+
+    def forward(self, packet) -> None:
+        raise NotImplementedError

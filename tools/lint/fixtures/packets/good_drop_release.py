@@ -1,0 +1,43 @@
+"""PKT001 negative fixture: drop sinks that honour the ownership rule.
+
+Counting a drop is always paired with ``release()`` in the same branch —
+possibly in a nested statement, as in CoDel's dropping loop — or carries a
+``noqa`` naming the new owner, as in sfqCoDel's shared-buffer accounting.
+"""
+
+
+class TailDropQueue:
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.drops = 0
+        self._queue: list = []
+
+    def enqueue(self, packet, now: float) -> bool:
+        if len(self._queue) >= self.capacity:
+            self.drops += 1
+            packet.release()  # drop sink: tail overflow
+            return False
+        self._queue.append(packet)
+        return True
+
+    def drain_head(self, now: float):
+        while self._queue:
+            packet = self._queue.pop(0)
+            self.drops += 1
+            if now > 1.0:
+                packet.release()  # drop sink: nested release still counts
+                continue
+            return packet
+        return None
+
+
+class SharedBufferFront:
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.drops = 0
+
+    def enqueue(self, packet, now: float) -> bool:
+        if not self.inner.enqueue(packet, now):
+            self.drops += 1  # noqa: PKT001 — inner queue released the packet
+            return False
+        return True

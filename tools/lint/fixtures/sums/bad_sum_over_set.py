@@ -1,0 +1,23 @@
+"""FLT001 fixture: float accumulation whose order a set dictates.
+
+Float addition is not associative; summing a set directly (or through a
+comprehension over one) makes the total depend on hash-iteration order.
+"""
+
+
+def total_delay(delays: set) -> float:
+    return sum(delays)  # expected: FLT001
+
+
+def total_weighted(delays: set) -> float:
+    return sum(d * 0.5 for d in delays)  # expected: FLT001
+
+
+def total_literal() -> float:
+    return sum({0.1, 0.2, 0.3})  # expected: FLT001
+
+
+def total_from_annotation() -> float:
+    samples: set[float] = set()
+    samples.add(0.1)
+    return sum(samples)  # expected: FLT001

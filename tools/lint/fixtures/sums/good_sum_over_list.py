@@ -1,0 +1,21 @@
+"""FLT001 negative fixture: order-pinned accumulation.
+
+Lists, tuples and generators over ordered containers accumulate in a
+reproducible order; a set is fine once ``sorted()`` pins its order.
+"""
+
+
+def total_delay(delays: list) -> float:
+    return sum(delays)
+
+
+def total_weighted(delays: tuple) -> float:
+    return sum(d * 0.5 for d in delays)
+
+
+def total_sorted(delays: set) -> float:
+    return sum(sorted(delays))
+
+
+def count_active(queues: list) -> int:
+    return sum(1 for q in queues if len(q) > 0)
