@@ -13,16 +13,30 @@ candidate-neighbourhood simulations out over N worker processes, the way the
 paper's design runs used many cores; ``--workers 1`` (the default) keeps the
 bit-identical serial path.
 
+Long runs should checkpoint: ``--checkpoint design.ckpt.json`` writes the
+full resumable search state (tree, progress counters, settings, seed
+schedule) atomically at every epoch boundary, and ``--resume`` continues
+from it bit-identically after an interruption — the resumed run's final
+tree and score history match an uninterrupted run exactly.  ``--retries N``
+switches the pool to the fault-tolerant
+:class:`~repro.runner.ResilientPoolBackend` (N attempts per chunk, with
+backoff, poison-job isolation and serial degradation).
+
 Usage::
 
     python examples/train_remycc.py --delta 1.0 --output my_remycc.json
     python examples/train_remycc.py --workers 8 --max-evaluations 1000
+    python examples/train_remycc.py --workers 8 --retries 3 \
+        --checkpoint design.ckpt.json          # long fault-prone run
+    python examples/train_remycc.py --workers 8 --retries 3 \
+        --checkpoint design.ckpt.json --resume # ... continue after a crash
 """
 
 from __future__ import annotations
 
 import argparse
 import time
+from dataclasses import replace
 
 from repro.core.config import general_purpose_range
 from repro.core.evaluator import Evaluator, EvaluatorSettings
@@ -50,6 +64,25 @@ def main() -> None:
         help="simulation worker processes (1 = serial, bit-identical; "
         "0 = one per available CPU)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="run the pool fault-tolerantly with this many attempts per "
+        "chunk (requires --workers != 1; see repro.runner.resilience)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a resumable checkpoint here at every epoch boundary",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the search from --checkpoint instead of starting fresh "
+        "(budget flags still apply, so a finished run can be extended)",
+    )
     args = parser.parse_args()
 
     if args.paper_scale:
@@ -61,12 +94,19 @@ def main() -> None:
 
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.retries is not None and args.retries <= 0:
+        parser.error(f"--retries must be positive, got {args.retries}")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint PATH")
+    retries = f":{args.retries}" if args.retries is not None else ""
     if args.workers == 1:
+        if args.retries is not None:
+            parser.error("--retries needs a process pool (--workers != 1)")
         backend = backend_from_spec("serial")
     elif args.workers == 0:
-        backend = backend_from_spec("process")
+        backend = backend_from_spec(f"process::{retries}" if retries else "process")
     else:
-        backend = backend_from_spec(f"process:{args.workers}")
+        backend = backend_from_spec(f"process:{args.workers}:{retries}" if retries else f"process:{args.workers}")
 
     evaluator = Evaluator(
         general_purpose_range(),
@@ -74,20 +114,43 @@ def main() -> None:
         evaluator_settings,
         backend=backend,
     )
-    optimizer = RemyOptimizer(
-        evaluator,
-        tree=WhiskerTree(name=f"trained-delta{args.delta:g}"),
-        settings=OptimizerSettings(
-            max_epochs=args.max_epochs,
-            max_evaluations=args.max_evaluations,
-            candidate_magnitudes=1,
-            epochs_per_split=2,
-        ),
-        progress=lambda message, state: print(
+
+    def progress(message, state):
+        print(
             f"[epoch {state.global_epoch} evals {state.evaluations_used:4d} "
             f"best {state.best_score:8.4f}] {message}"
-        ),
-    )
+        )
+
+    if args.resume:
+        optimizer = RemyOptimizer.resume_from_checkpoint(
+            args.checkpoint, evaluator, progress=progress
+        )
+        # The search shape (split cadence, neighbourhood) comes from the
+        # checkpoint; the CLI budget flags still apply so a finished run can
+        # be extended with a larger --max-epochs / --max-evaluations.
+        optimizer.settings = replace(
+            optimizer.settings,
+            max_epochs=args.max_epochs,
+            max_evaluations=args.max_evaluations,
+        )
+        print(
+            f"resumed from {args.checkpoint}: epoch {optimizer.state.global_epoch}, "
+            f"{optimizer.state.evaluations_used} evaluations used, "
+            f"{len(optimizer.tree)} rules"
+        )
+    else:
+        optimizer = RemyOptimizer(
+            evaluator,
+            tree=WhiskerTree(name=f"trained-delta{args.delta:g}"),
+            settings=OptimizerSettings(
+                max_epochs=args.max_epochs,
+                max_evaluations=args.max_evaluations,
+                candidate_magnitudes=1,
+                epochs_per_split=2,
+            ),
+            progress=progress,
+            checkpoint_path=args.checkpoint,
+        )
 
     print(f"designing a RemyCC for: {evaluator.objective.describe()}")
     print(f"design range: {len(evaluator.specimens)} specimens, e.g. {evaluator.specimens[0].describe()}")

@@ -36,8 +36,8 @@ from repro.core.whisker_tree import WhiskerTree
 from repro.core.config import NetConfig, ConfigRange, ParameterRange
 from repro.core.objective import Objective, alpha_fairness_utility
 from repro.core.evaluator import Evaluator, EvaluationResult
-from repro.core.optimizer import RemyOptimizer, OptimizerSettings
-from repro.core.serialization import whisker_tree_to_dict, whisker_tree_from_dict, save_remycc, load_remycc
+from repro.core.optimizer import RemyOptimizer, OptimizerSettings, OptimizerState
+from repro.core.serialization import whisker_tree_to_dict, whisker_tree_from_dict, save_remycc, load_remycc, save_json_atomic
 from repro.core.pretrained import pretrained_remycc, pretrained_tree_names
 
 __all__ = [
@@ -56,9 +56,11 @@ __all__ = [
     "EvaluationResult",
     "RemyOptimizer",
     "OptimizerSettings",
+    "OptimizerState",
     "whisker_tree_to_dict",
     "whisker_tree_from_dict",
     "save_remycc",
+    "save_json_atomic",
     "load_remycc",
     "pretrained_remycc",
     "pretrained_tree_names",

@@ -19,19 +19,29 @@ the memory space is most used.
 
 from __future__ import annotations
 
+import json
 import logging
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
 
 from repro.core.action import Action
-from repro.core.evaluator import EvaluationResult, Evaluator
-from repro.core.serialization import whisker_tree_from_dict, whisker_tree_to_dict
+from repro.core.evaluator import EvaluationResult, Evaluator, specimen_seed
+from repro.core.serialization import (
+    save_json_atomic,
+    whisker_tree_from_dict,
+    whisker_tree_to_dict,
+)
 from repro.core.whisker import Whisker
 from repro.core.whisker_tree import WhiskerTree
 
 logger = logging.getLogger(__name__)
 
 ProgressCallback = Callable[[str, "OptimizerState"], None]
+
+#: ``kind`` marker distinguishing checkpoints from plain RemyCC files.
+CHECKPOINT_KIND = "remy-optimizer-checkpoint"
+CHECKPOINT_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -80,12 +90,16 @@ class RemyOptimizer:
         tree: Optional[WhiskerTree] = None,
         settings: Optional[OptimizerSettings] = None,
         progress: Optional[ProgressCallback] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
     ):
         self.evaluator = evaluator
         self.tree = tree if tree is not None else WhiskerTree()
         self.settings = settings if settings is not None else OptimizerSettings()
         self.progress = progress
         self.state = OptimizerState()
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
 
     # ------------------------------------------------------------------ helpers
     def _notify(self, message: str) -> None:
@@ -137,15 +151,132 @@ class RemyOptimizer:
             trees.append(candidate)
         return trees
 
+    # ------------------------------------------------------------------ checkpoint
+    def checkpoint_dict(self) -> dict[str, Any]:
+        """The full resumable search state as a JSON-able document.
+
+        Captures everything the search depends on going forward: the rule
+        table (structure, actions, epochs), the :class:`OptimizerState`
+        counters and score history, both settings objects, and the
+        evaluator's specimen seed schedule.  Per-whisker usage statistics
+        are deliberately *not* captured — every epoch begins by resetting
+        them and re-simulating (see :meth:`_run_epoch`) — which is exactly
+        why the epoch boundary is a bit-identical resume point.
+        """
+        state = asdict(self.state)
+        # JSON has no -inf; None marks "no evaluation recorded yet".
+        if self.state.best_score == float("-inf"):
+            state["best_score"] = None
+        return {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "kind": CHECKPOINT_KIND,
+            "tree": whisker_tree_to_dict(self.tree),
+            "state": state,
+            "settings": asdict(self.settings),
+            "evaluator_settings": asdict(self.evaluator.settings),
+            "seed_schedule": [
+                specimen_seed(self.evaluator.settings.seed, index)
+                for index in range(self.evaluator.settings.num_specimens)
+            ],
+        }
+
+    def save_checkpoint(
+        self, path: Optional[Union[str, Path]] = None
+    ) -> Optional[Path]:
+        """Write a resume checkpoint (atomically), returning its path.
+
+        Uses ``path``, falling back to the constructor's ``checkpoint_path``;
+        with neither set this is a no-op returning ``None``, so the
+        optimizer can call it unconditionally at every boundary.
+        """
+        target = Path(path) if path is not None else self.checkpoint_path
+        if target is None:
+            return None
+        return save_json_atomic(self.checkpoint_dict(), target)
+
+    @classmethod
+    def resume_from_checkpoint(
+        cls,
+        path: Union[str, Path],
+        evaluator: Evaluator,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+    ) -> "RemyOptimizer":
+        """Restore an optimizer from a checkpoint written by :meth:`save_checkpoint`.
+
+        ``evaluator`` must be constructed with the same settings the
+        checkpointed run used — the checkpoint records them and the specimen
+        seed schedule, and resume refuses a mismatch rather than silently
+        continuing a *different* search.  The returned optimizer continues
+        bit-identically: calling :meth:`optimize` produces the same final
+        tree and score history as the uninterrupted run.  ``checkpoint_path``
+        defaults to ``path`` so a resumed run keeps checkpointing in place.
+        """
+        path = Path(path)
+        data = json.loads(path.read_text())
+        if data.get("kind") != CHECKPOINT_KIND:
+            raise ValueError(
+                f"{path} is not a {CHECKPOINT_KIND} file "
+                f"(kind={data.get('kind')!r}); note that plain RemyCC rule "
+                "tables are loaded with repro.core.serialization.load_remycc"
+            )
+        version = data.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint format version {version}")
+        recorded = data["evaluator_settings"]
+        current = asdict(evaluator.settings)
+        if recorded != current:
+            diffs = sorted(
+                key
+                for key in set(recorded) | set(current)
+                if recorded.get(key) != current.get(key)
+            )
+            raise ValueError(
+                "evaluator settings differ from the checkpointed run "
+                f"(fields: {', '.join(diffs)}); resuming would evaluate on "
+                "different specimens and break bit-identical continuation"
+            )
+        schedule = [
+            specimen_seed(evaluator.settings.seed, index)
+            for index in range(evaluator.settings.num_specimens)
+        ]
+        if data["seed_schedule"] != schedule:
+            raise ValueError(
+                "evaluator specimen seed schedule differs from the "
+                "checkpointed run; resuming would simulate different packet "
+                "schedules"
+            )
+        optimizer = cls(
+            evaluator,
+            tree=whisker_tree_from_dict(data["tree"]),
+            settings=OptimizerSettings(**data["settings"]),
+            progress=progress,
+            checkpoint_path=checkpoint_path if checkpoint_path is not None else path,
+        )
+        state = dict(data["state"])
+        if state.get("best_score") is None:
+            state["best_score"] = float("-inf")
+        optimizer.state = OptimizerState(**state)
+        return optimizer
+
     # ------------------------------------------------------------------ search
     def optimize(self) -> WhiskerTree:
-        """Run the greedy search until the budget is exhausted."""
+        """Run the greedy search until the budget is exhausted.
+
+        With a ``checkpoint_path`` configured, a checkpoint is written after
+        every epoch (and therefore after every split, which happens inside
+        the epoch boundary) and once more when the search finishes — each
+        one a point :meth:`resume_from_checkpoint` continues from
+        bit-identically.
+        """
         while not self._budget_exhausted():
             self._run_epoch()
             self.state.global_epoch += 1
             if self.state.global_epoch % self.settings.epochs_per_split == 0:
                 self._split_most_used()
+            self.save_checkpoint()
         self._notify("optimization finished")
+        self.save_checkpoint()
         return self.tree
 
     def _run_epoch(self) -> None:

@@ -9,6 +9,7 @@ reloaded tree performs lookups identically to the original.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Union
 
@@ -97,11 +98,24 @@ def whisker_tree_from_dict(data: dict[str, Any]) -> WhiskerTree:
     return tree
 
 
+def save_json_atomic(data: Any, path: Union[str, Path]) -> Path:
+    """Write ``data`` as JSON to ``path`` atomically and return the path.
+
+    The document is written to a sibling temp file and renamed into place
+    (``os.replace`` is atomic on POSIX), so a crash mid-write — the exact
+    failure checkpoints exist to survive — can never leave a truncated file
+    where the previous good checkpoint used to be.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+    return path
+
+
 def save_remycc(tree: WhiskerTree, path: Union[str, Path]) -> Path:
     """Write a rule table to ``path`` as JSON and return the path."""
-    path = Path(path)
-    path.write_text(json.dumps(whisker_tree_to_dict(tree), indent=2, sort_keys=True))
-    return path
+    return save_json_atomic(whisker_tree_to_dict(tree), path)
 
 
 def load_remycc(path: Union[str, Path]) -> WhiskerTree:

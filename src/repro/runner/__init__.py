@@ -3,37 +3,75 @@
 The design loop (§4.3) and the figure harnesses all boil down to batches of
 independent packet-level simulations.  This package describes one simulation
 as a picklable :class:`SimJob`, and runs batches through an
-:class:`ExecutionBackend` — serially in-process (the bit-identical default)
-or across a pool of worker processes.
+:class:`ExecutionBackend` — serially in-process (the bit-identical default),
+across a pool of worker processes, or — for long fault-prone runs — through
+the fault-tolerant :class:`ResilientPoolBackend` (retry with deterministic
+backoff, per-chunk timeouts, poison-job bisection, serial degradation; see
+:mod:`repro.runner.resilience`).  :mod:`repro.runner.faults` provides the
+seeded chaos harness that makes fault-path tests reproducible.
 """
 
 from repro.runner.backends import (
+    ChunkExecutionError,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
     available_workers,
     backend_from_spec,
 )
+from repro.runner.faults import (
+    FaultPlan,
+    InjectedFault,
+    active_fault_plan,
+    clear_fault_plan,
+    fault_plan_installed,
+    install_fault_plan,
+)
 from repro.runner.jobs import (
     SimJob,
     SimJobResult,
     WhiskerStatsDelta,
+    chunk_result_mismatch,
     collect_whisker_stats,
     merge_whisker_stats,
     mix_seed,
     run_sim_job,
 )
+from repro.runner.resilience import (
+    CorruptResultError,
+    FakeClock,
+    JobFailure,
+    MonotonicClock,
+    PoisonJobError,
+    ResilientPoolBackend,
+    RetryPolicy,
+)
 
 __all__ = [
+    "ChunkExecutionError",
+    "CorruptResultError",
     "ExecutionBackend",
+    "FakeClock",
+    "FaultPlan",
+    "InjectedFault",
+    "JobFailure",
+    "MonotonicClock",
+    "PoisonJobError",
     "ProcessPoolBackend",
+    "ResilientPoolBackend",
+    "RetryPolicy",
     "SerialBackend",
     "SimJob",
     "SimJobResult",
     "WhiskerStatsDelta",
+    "active_fault_plan",
     "available_workers",
     "backend_from_spec",
+    "chunk_result_mismatch",
+    "clear_fault_plan",
     "collect_whisker_stats",
+    "fault_plan_installed",
+    "install_fault_plan",
     "merge_whisker_stats",
     "mix_seed",
     "run_sim_job",

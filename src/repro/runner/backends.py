@@ -29,18 +29,32 @@ from typing import Optional, Sequence
 from repro.runner.jobs import SimJob, SimJobResult, run_sim_job
 
 
-def _execute_job_chunk(jobs: Sequence[SimJob]) -> list[SimJobResult]:
+def _execute_job_chunk(jobs: Sequence[SimJob], attempt: int = 0) -> list[SimJobResult]:
     """Worker entry point for one chunk: many jobs, one IPC round trip.
 
     Module-level so it pickles by reference.  The chunk is pickled as a
     single object, so jobs sharing a rule table serialize that table once
     per chunk instead of once per job, and the results travel back as one
     message.
+
+    ``attempt`` is the number of times this chunk has already been tried
+    (:class:`~repro.runner.resilience.ResilientPoolBackend` increments it on
+    resubmission); it keys the deterministic fault-injection harness, which
+    fires only inside armed worker processes (see
+    :func:`repro.runner.faults.worker_fault_plan`).
     """
-    return [
-        run_sim_job(job, collect_stats=job.training and job.tree is not None)
-        for job in jobs
-    ]
+    from repro.runner.faults import worker_fault_plan
+
+    plan = worker_fault_plan()
+    results = []
+    for job in jobs:
+        if plan is not None:
+            plan.apply_before_run(job.job_id, attempt)
+        result = run_sim_job(job, collect_stats=job.training and job.tree is not None)
+        if plan is not None:
+            result = plan.apply_after_run(job.job_id, attempt, result)
+        results.append(result)
+    return results
 
 
 def available_workers() -> int:
@@ -48,6 +62,23 @@ def available_workers() -> int:
     if hasattr(os, "sched_getaffinity"):
         return len(os.sched_getaffinity(0))
     return os.cpu_count() or 1
+
+
+class ChunkExecutionError(RuntimeError):
+    """A worker chunk failed under :class:`ProcessPoolBackend`.
+
+    Carries *which* jobs were in the failing chunk (``job_ids``, in
+    submission order) and the chunk's batch offset, with the worker's
+    exception chained as ``__cause__``.  The plain pool backend does not
+    retry — use :class:`~repro.runner.resilience.ResilientPoolBackend` for
+    that — but it does cancel and drain the rest of the batch so no futures
+    leak, and this error tells the caller exactly what was lost.
+    """
+
+    def __init__(self, chunk_start: int, job_ids: Sequence[int], message: str):
+        super().__init__(message)
+        self.chunk_start = chunk_start
+        self.job_ids = list(job_ids)
 
 
 class ExecutionBackend(ABC):
@@ -125,7 +156,15 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            # The initializer arms fault injection (a no-op unless a
+            # FaultPlan is installed) and, more importantly, marks the
+            # process as a *worker*: injected faults must never fire in the
+            # submitting process or in serial fallback paths.
+            from repro.runner.faults import mark_worker_process
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers, initializer=mark_worker_process
+            )
         return self._executor
 
     def _chunk_size(self, n_jobs: int) -> int:
@@ -202,12 +241,41 @@ class ProcessPoolBackend(ExecutionBackend):
         # submission order (run_batch's ordering contract) by chunk offset.
         results: list[Optional[SimJobResult]] = [None] * len(jobs)
         pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                start = futures[future]
-                for offset, result in enumerate(future.result()):
-                    results[start + offset] = result
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    start = futures[future]
+                    try:
+                        chunk_results = future.result()
+                    except Exception as exc:
+                        failed = jobs[start : start + chunk]
+                        raise ChunkExecutionError(
+                            chunk_start=start,
+                            job_ids=[job.job_id for job in failed],
+                            message=(
+                                f"chunk at batch offset {start} (jobs "
+                                f"{[job.job_id for job in failed]}) failed in "
+                                f"the worker: {exc!r}.  The rest of the batch "
+                                "was cancelled; completed results are "
+                                "discarded (jobs are pure, resubmitting is "
+                                "safe).  For automatic retry/poison-job "
+                                "isolation use ResilientPoolBackend "
+                                "(backend spec 'process:N:C:retries')."
+                            ),
+                        ) from exc
+                    for offset, result in enumerate(chunk_results):
+                        results[start + offset] = result
+        except BaseException:
+            # Don't leak the rest of the batch: cancel whatever has not
+            # started and drain what has, so no future is still running when
+            # the error surfaces (the pool stays reusable unless the worker
+            # itself died).
+            for future in pending:
+                future.cancel()
+            if pending:
+                wait(pending)
+            raise
         return results  # type: ignore[return-value]  # every slot filled above
 
     def close(self) -> None:
@@ -219,25 +287,79 @@ class ProcessPoolBackend(ExecutionBackend):
         return f"ProcessPoolBackend(max_workers={self.max_workers})"
 
 
+#: Grammar reminder appended to every spec-format error.
+_SPEC_GRAMMAR = (
+    "expected 'serial' or 'process[:workers[:chunk[:retries]]]' where each "
+    "field is a positive integer or empty for the default — e.g. 'process', "
+    "'process:8', 'process:8:4', or 'process:::3' (retries only).  A "
+    "retries field selects ResilientPoolBackend (per-chunk retry, "
+    "poison-job isolation)."
+)
+
+
+def _spec_field(spec: str, field: str, value: str) -> Optional[int]:
+    """Parse one ``:``-separated spec field: empty → default, else int > 0."""
+    if not value:
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(
+            f"invalid backend spec {spec!r}: {field} field {value!r} is not "
+            f"an integer; {_SPEC_GRAMMAR}"
+        ) from None
+    if parsed <= 0:
+        raise ValueError(
+            f"invalid backend spec {spec!r}: {field} must be positive, "
+            f"got {parsed}; {_SPEC_GRAMMAR}"
+        )
+    return parsed
+
+
 def backend_from_spec(spec: str) -> ExecutionBackend:
     """Build a backend from a CLI-style spec string.
 
     ``"serial"`` → :class:`SerialBackend`; ``"process"`` →
     :class:`ProcessPoolBackend` with one worker per available CPU;
     ``"process:N"`` → a pool of exactly N workers; ``"process:N:C"`` →
-    additionally submit C jobs per worker task (chunk size).
+    additionally submit C jobs per worker task (chunk size); and
+    ``"process:N:C:R"`` → a
+    :class:`~repro.runner.resilience.ResilientPoolBackend` allowing up to R
+    attempts per chunk (with the default backoff/timeout policy).  Empty
+    fields keep their defaults, so ``"process::8"`` sets only the chunk size
+    and ``"process:::3"`` only the retry budget.
+
+    Malformed specs raise a :class:`ValueError` that restates the grammar
+    instead of a bare ``int()`` traceback.
     """
     name, _, arg = spec.partition(":")
     if name == "serial":
         if arg:
-            raise ValueError("serial backend takes no argument")
+            raise ValueError(
+                f"invalid backend spec {spec!r}: serial takes no argument; "
+                f"{_SPEC_GRAMMAR}"
+            )
         return SerialBackend()
     if name == "process":
-        workers, _, chunk = arg.partition(":")
-        return ProcessPoolBackend(
-            max_workers=int(workers) if workers else None,
-            chunk_jobs=int(chunk) if chunk else None,
-        )
-    raise ValueError(
-        f"unknown backend spec {spec!r}; expected 'serial' or 'process[:N[:C]]'"
-    )
+        fields = arg.split(":") if arg else []
+        if len(fields) > 3:
+            raise ValueError(
+                f"invalid backend spec {spec!r}: too many fields "
+                f"({len(fields)}); {_SPEC_GRAMMAR}"
+            )
+        fields += [""] * (3 - len(fields))
+        workers = _spec_field(spec, "workers", fields[0])
+        chunk = _spec_field(spec, "chunk", fields[1])
+        retries = _spec_field(spec, "retries", fields[2])
+        if retries is not None:
+            # Imported here: resilience subclasses ProcessPoolBackend, so a
+            # module-level import would be circular.
+            from repro.runner.resilience import ResilientPoolBackend, RetryPolicy
+
+            return ResilientPoolBackend(
+                max_workers=workers,
+                chunk_jobs=chunk,
+                retry=RetryPolicy(max_attempts=retries),
+            )
+        return ProcessPoolBackend(max_workers=workers, chunk_jobs=chunk)
+    raise ValueError(f"unknown backend spec {spec!r}; {_SPEC_GRAMMAR}")

@@ -218,6 +218,23 @@ def merge_whisker_stats(
                     whisker._samples[(start + offset + 1) % SAMPLE_RESERVOIR] = sample
 
 
+def chunk_result_mismatch(
+    jobs: list[SimJob], results: list[SimJobResult]
+) -> Optional[str]:
+    """Describe how a worker's chunk results fail to match the submitted jobs.
+
+    Returns ``None`` when the results line up (same count, same job ids in
+    the same order), otherwise a human-readable description of the mismatch.
+    Used by the resilient backend to reject corrupted or misrouted chunk
+    results before they can land in the wrong result slots.
+    """
+    expected = [job.job_id for job in jobs]
+    got = [result.job_id for result in results]
+    if expected == got:
+        return None
+    return f"worker returned results for job ids {got}, expected {expected}"
+
+
 def run_sim_job(job: SimJob, collect_stats: bool = False) -> SimJobResult:
     """Execute one job in the current process.
 

@@ -1,0 +1,184 @@
+"""Checkpoint/resume tests for the Remy design loop.
+
+The acceptance property: a run interrupted at an epoch boundary and resumed
+from its checkpoint produces exactly the same final tree and score history
+as an uninterrupted run.  That works because ``_run_epoch`` begins by
+resetting the per-whisker statistics and re-evaluating, so the epoch
+boundary depends on nothing but what the checkpoint captures — tree
+structure/actions/epochs, the ``OptimizerState`` counters, both settings
+objects and the evaluator seed schedule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import ConfigRange, ParameterRange
+from repro.core.evaluator import Evaluator, EvaluatorSettings
+from repro.core.objective import Objective
+from repro.core.optimizer import (
+    CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_KIND,
+    OptimizerSettings,
+    RemyOptimizer,
+)
+from repro.core.serialization import save_json_atomic, save_remycc, whisker_tree_to_dict
+from repro.core.whisker_tree import WhiskerTree
+
+
+def tiny_range() -> ConfigRange:
+    return ConfigRange(
+        link_speed_bps=ParameterRange.exact(4e6),
+        rtt_seconds=ParameterRange.exact(0.08),
+        n_senders=ParameterRange.exact(2),
+        mean_on_seconds=ParameterRange.exact(2.0),
+        mean_off_seconds=ParameterRange.exact(1.0),
+    )
+
+
+def make_evaluator(seed: int = 3, num_specimens: int = 2) -> Evaluator:
+    return Evaluator(
+        tiny_range(),
+        Objective.proportional(delta=1.0),
+        EvaluatorSettings(
+            num_specimens=num_specimens, sim_duration=1.0, seed=seed
+        ),
+    )
+
+
+#: Small but real: this budget improves actions and performs a split, so
+#: the resumed run crosses both an improvement epoch and a split boundary.
+#: The coarse improvement threshold keeps the epoch-0 hill climb short
+#: enough that several epoch boundaries fit inside the evaluation budget.
+SETTINGS = OptimizerSettings(
+    max_epochs=4,
+    max_evaluations=200,
+    epochs_per_split=2,
+    improvement_threshold=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def reference_run():
+    optimizer = RemyOptimizer(
+        make_evaluator(), tree=WhiskerTree(name="ckpt"), settings=SETTINGS
+    )
+    tree = optimizer.optimize()
+    assert optimizer.state.splits >= 1, "reference run must exercise a split"
+    assert optimizer.state.improvements >= 1
+    return tree, optimizer.state
+
+
+class TestCheckpointWriting:
+    def test_no_checkpoint_path_is_a_noop(self):
+        optimizer = RemyOptimizer(make_evaluator())
+        assert optimizer.save_checkpoint() is None
+
+    def test_checkpoint_written_at_epoch_boundaries(self, tmp_path):
+        path = tmp_path / "design.ckpt.json"
+        optimizer = RemyOptimizer(
+            make_evaluator(),
+            tree=WhiskerTree(name="ckpt"),
+            settings=replace(SETTINGS, max_epochs=1),
+            checkpoint_path=path,
+        )
+        optimizer.optimize()
+        data = json.loads(path.read_text())
+        assert data["kind"] == CHECKPOINT_KIND
+        assert data["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert data["state"]["global_epoch"] == 1
+        assert data["evaluator_settings"]["seed"] == 3
+        assert len(data["seed_schedule"]) == 2
+        # Atomic write: no temp file left behind.
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_fresh_state_round_trips_minus_inf_best_score(self, tmp_path):
+        optimizer = RemyOptimizer(make_evaluator())
+        assert optimizer.checkpoint_dict()["state"]["best_score"] is None
+        path = save_json_atomic(optimizer.checkpoint_dict(), tmp_path / "c.json")
+        restored = RemyOptimizer.resume_from_checkpoint(path, make_evaluator())
+        assert restored.state.best_score == float("-inf")
+
+
+class TestResume:
+    def test_resumed_run_is_bit_identical(self, tmp_path, reference_run):
+        ref_tree, ref_state = reference_run
+        path = tmp_path / "design.ckpt.json"
+
+        # Interrupt at the epoch-2 boundary (of 4), then resume.
+        partial = RemyOptimizer(
+            make_evaluator(),
+            tree=WhiskerTree(name="ckpt"),
+            settings=replace(SETTINGS, max_epochs=2),
+            checkpoint_path=path,
+        )
+        partial.optimize()
+        assert partial.state.global_epoch == 2
+
+        resumed = RemyOptimizer.resume_from_checkpoint(path, make_evaluator())
+        resumed.settings = replace(resumed.settings, max_epochs=SETTINGS.max_epochs)
+        resumed_tree = resumed.optimize()
+
+        assert whisker_tree_to_dict(resumed_tree) == whisker_tree_to_dict(ref_tree)
+        assert resumed.state.score_history == ref_state.score_history
+        assert resumed.state.best_score == ref_state.best_score
+        assert resumed.state.evaluations_used == ref_state.evaluations_used
+        assert resumed.state.improvements == ref_state.improvements
+        assert resumed.state.splits == ref_state.splits
+
+    def test_resume_keeps_checkpointing_to_the_same_file(self, tmp_path):
+        path = tmp_path / "design.ckpt.json"
+        partial = RemyOptimizer(
+            make_evaluator(),
+            tree=WhiskerTree(name="ckpt"),
+            settings=replace(SETTINGS, max_epochs=1),
+            checkpoint_path=path,
+        )
+        partial.optimize()
+        resumed = RemyOptimizer.resume_from_checkpoint(path, make_evaluator())
+        assert resumed.checkpoint_path == path
+        resumed.settings = replace(resumed.settings, max_epochs=2)
+        resumed.optimize()
+        assert json.loads(path.read_text())["state"]["global_epoch"] == 2
+
+
+class TestResumeGuards:
+    def _checkpoint(self, tmp_path):
+        path = tmp_path / "design.ckpt.json"
+        optimizer = RemyOptimizer(
+            make_evaluator(),
+            tree=WhiskerTree(name="ckpt"),
+            settings=replace(SETTINGS, max_epochs=1),
+            checkpoint_path=path,
+        )
+        optimizer.optimize()
+        return path
+
+    def test_rejects_different_evaluator_seed(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        with pytest.raises(ValueError, match="seed"):
+            RemyOptimizer.resume_from_checkpoint(path, make_evaluator(seed=99))
+
+    def test_rejects_different_specimen_count(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        with pytest.raises(ValueError, match="num_specimens"):
+            RemyOptimizer.resume_from_checkpoint(
+                path, make_evaluator(num_specimens=3)
+            )
+
+    def test_rejects_non_checkpoint_files(self, tmp_path):
+        table = tmp_path / "table.json"
+        save_remycc(WhiskerTree(name="plain"), table)
+        with pytest.raises(ValueError, match="load_remycc"):
+            RemyOptimizer.resume_from_checkpoint(table, make_evaluator())
+
+    def test_rejects_unknown_format_version(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        data = json.loads(path.read_text())
+        data["format_version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="version"):
+            RemyOptimizer.resume_from_checkpoint(path, make_evaluator())

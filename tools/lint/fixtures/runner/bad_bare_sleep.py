@@ -1,0 +1,13 @@
+"""SLP001 positive fixture: unfakeable real sleeps in the execution layer."""
+
+import time
+from time import sleep  # expected: SLP001
+
+
+def wait_for_retry(delay: float) -> None:
+    time.sleep(delay)  # expected: SLP001
+
+
+def poll_until_done(check, interval: float = 0.5) -> None:
+    while not check():
+        time.sleep(interval)  # expected: SLP001

@@ -1,0 +1,21 @@
+"""SLP001 negative fixture: every wait flows through a Clock object."""
+
+import time
+
+
+class MonotonicClock:
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)  # noqa: SLP001 — the Clock implementation
+
+
+def wait_for_retry(clock: MonotonicClock, delay: float) -> None:
+    clock.sleep(delay)
+
+
+def poll_until_done(clock: MonotonicClock, check, interval: float = 0.5) -> None:
+    while not check():
+        clock.sleep(interval)
