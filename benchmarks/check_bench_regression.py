@@ -1,6 +1,6 @@
 """Fail when a tracked benchmark regressed against its committed baseline.
 
-Two gates, one tool (the CI bench job runs both)::
+Three gates, one tool (the CI bench job runs all of them)::
 
     python benchmarks/check_bench_regression.py \
         --baseline /tmp/bench_baseline.json \
@@ -8,7 +8,10 @@ Two gates, one tool (the CI bench job runs both)::
         --threshold 0.30 \
         --parallel-baseline /tmp/parallel_baseline.json \
         --parallel-current BENCH_parallel_eval.json \
-        --parallel-threshold 0.25
+        --parallel-threshold 0.25 \
+        --distributed-baseline /tmp/distributed_baseline.json \
+        --distributed-current BENCH_distributed_eval.json \
+        --distributed-threshold 0.25
 
 * **events/sec** — ``BENCH_simulator.json`` trajectories (see
   ``benchmarks/test_bench_simulator_speed.py``); the newest entry of each is
@@ -23,6 +26,11 @@ Two gates, one tool (the CI bench job runs both)::
   needed.  The gate is skipped when either entry ran on fewer CPUs than the
   benchmark's worker count (nothing to parallelize onto) and when the
   baseline has no speedup entry yet.
+
+* **distributed speedup** — ``BENCH_distributed_eval.json`` trajectories
+  (see ``benchmarks/test_bench_distributed_eval.py``); the same
+  same-machine serial/queue ratio and the same CPU-capability skip rules,
+  gating the lease-queue coordinator's overhead instead of the pool's.
 """
 
 from __future__ import annotations
@@ -89,52 +97,54 @@ def latest_capable_entry(path: Path, prefer_label_prefix: str) -> dict | None:
     return capable[-1]
 
 
-def check_parallel_speedup(
+def check_speedup_trajectory(
     baseline_path: Path,
     current_path: Path,
     threshold: float,
     prefer_label_prefix: str,
+    gate: str,
 ) -> bool:
-    """Gate the process-pool speedup trajectory; returns False on regression."""
+    """Gate one serial-vs-N-workers speedup trajectory (``speedup`` /
+    ``workers`` / ``cpus_available`` entries); returns False on regression."""
     baseline = latest_capable_entry(baseline_path, prefer_label_prefix)
     current = latest_entry(current_path)
     if baseline is None:
         print(
-            "  skip  pool-speedup: no baseline entry was recorded with enough "
+            f"  skip  {gate}: no baseline entry was recorded with enough "
             "CPUs for its worker count (gate activates once one is committed)"
         )
         return True
     print(
-        f"parallel baseline entry: {baseline.get('label')!r} "
+        f"{gate} baseline entry: {baseline.get('label')!r} "
         f"({baseline.get('timestamp')})"
     )
     print(
-        f"parallel current entry:  {current.get('label')!r} "
+        f"{gate} current entry:  {current.get('label')!r} "
         f"({current.get('timestamp')})"
     )
     base_speedup = baseline.get("speedup")
     cur_speedup = current.get("speedup")
     if cur_speedup is None:
-        print("  skip  pool-speedup: no speedup recorded in the current entry")
+        print(f"  skip  {gate}: no speedup recorded in the current entry")
         return True
     workers = current.get("workers", 0)
     cpus = current.get("cpus_available")
     if cpus is not None and cpus < workers:
         print(
-            f"  skip  pool-speedup: current ran on {cpus} CPUs for "
+            f"  skip  {gate}: current ran on {cpus} CPUs for "
             f"{workers} workers (nothing to parallelize onto)"
         )
         return True
     change = cur_speedup / base_speedup - 1.0
     status = "FAIL" if change < -threshold else "ok"
     print(
-        f"  {status:>4}  pool-speedup: {change:+.1%} "
+        f"  {status:>4}  {gate}: {change:+.1%} "
         f"(baseline {base_speedup:.3f}x, current {cur_speedup:.3f}x, "
         f"{workers} workers)"
     )
     if status == "FAIL":
         print(
-            f"\npool speedup regressed by more than {threshold:.0%}",
+            f"\n{gate} regressed by more than {threshold:.0%}",
             file=sys.stderr,
         )
         return False
@@ -178,9 +188,33 @@ def main() -> int:
         help="maximum tolerated fractional pool-speedup regression "
         "(default 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--distributed-baseline",
+        type=Path,
+        default=None,
+        help="BENCH_distributed_eval.json baseline trajectory (enables the "
+        "distributed-speedup gate)",
+    )
+    parser.add_argument(
+        "--distributed-current",
+        type=Path,
+        default=None,
+        help="BENCH_distributed_eval.json current trajectory",
+    )
+    parser.add_argument(
+        "--distributed-threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional distributed-speedup regression "
+        "(default 0.25 = 25%%)",
+    )
     args = parser.parse_args()
     if (args.parallel_baseline is None) != (args.parallel_current is None):
         parser.error("--parallel-baseline and --parallel-current go together")
+    if (args.distributed_baseline is None) != (args.distributed_current is None):
+        parser.error(
+            "--distributed-baseline and --distributed-current go together"
+        )
 
     baseline = latest_entry(args.baseline, args.prefer_baseline_label)
     current = latest_entry(args.current)
@@ -211,11 +245,23 @@ def main() -> int:
     parallel_ok = True
     if args.parallel_baseline is not None:
         print()
-        parallel_ok = check_parallel_speedup(
+        parallel_ok = check_speedup_trajectory(
             args.parallel_baseline,
             args.parallel_current,
             args.parallel_threshold,
             args.prefer_baseline_label,
+            gate="pool-speedup",
+        )
+
+    distributed_ok = True
+    if args.distributed_baseline is not None:
+        print()
+        distributed_ok = check_speedup_trajectory(
+            args.distributed_baseline,
+            args.distributed_current,
+            args.distributed_threshold,
+            args.prefer_baseline_label,
+            gate="distributed-speedup",
         )
 
     if failures:
@@ -225,7 +271,7 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    if not parallel_ok:
+    if not parallel_ok or not distributed_ok:
         return 1
     print(f"\nno case regressed by more than {args.threshold:.0%}")
     return 0

@@ -22,6 +22,13 @@ switches the pool to the fault-tolerant
 :class:`~repro.runner.ResilientPoolBackend` (N attempts per chunk, with
 backoff, poison-job isolation and serial degradation).
 
+``--backend SPEC`` selects any backend directly — including the distributed
+queue (``--backend queue:0.0.0.0:7000``), which coordinates remote workers
+started with ``python -m repro.runner.distributed worker host:7000`` through
+a crash-safe lease queue.  ``--cache DIR`` adds a content-addressed result
+cache keyed by (rule table, scenario, seed): repeat evaluations — including
+the replayed prefix of a resumed run — are served from disk bit-identically.
+
 Usage::
 
     python examples/train_remycc.py --delta 1.0 --output my_remycc.json
@@ -30,6 +37,8 @@ Usage::
         --checkpoint design.ckpt.json          # long fault-prone run
     python examples/train_remycc.py --workers 8 --retries 3 \
         --checkpoint design.ckpt.json --resume # ... continue after a crash
+    python examples/train_remycc.py --backend queue:127.0.0.1:7000 \
+        --cache design-cache/                  # distributed + cached
 """
 
 from __future__ import annotations
@@ -44,7 +53,7 @@ from repro.core.objective import Objective
 from repro.core.optimizer import OptimizerSettings, RemyOptimizer
 from repro.core.serialization import save_remycc
 from repro.core.whisker_tree import WhiskerTree
-from repro.runner import backend_from_spec
+from repro.runner import ResultCache, backend_from_spec
 
 
 def main() -> None:
@@ -70,6 +79,23 @@ def main() -> None:
         default=None,
         help="run the pool fault-tolerantly with this many attempts per "
         "chunk (requires --workers != 1; see repro.runner.resilience)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help="explicit execution backend spec (overrides --workers/--retries): "
+        "'serial', 'process[:workers[:chunk[:retries]]]', or "
+        "'queue:host:port[:wait]' to coordinate remote workers started with "
+        "'python -m repro.runner.distributed worker host:port'",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory: repeat evaluations "
+        "of the same (rule table, scenario, seed) are served from disk, "
+        "bit-identically — a resumed run replays its prefix for free",
     )
     parser.add_argument(
         "--checkpoint",
@@ -99,7 +125,11 @@ def main() -> None:
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint PATH")
     retries = f":{args.retries}" if args.retries is not None else ""
-    if args.workers == 1:
+    if args.backend is not None:
+        if args.workers != 1 or args.retries is not None:
+            parser.error("--backend SPEC replaces --workers/--retries; pass one or the other")
+        backend = backend_from_spec(args.backend)
+    elif args.workers == 1:
         if args.retries is not None:
             parser.error("--retries needs a process pool (--workers != 1)")
         backend = backend_from_spec("serial")
@@ -108,11 +138,13 @@ def main() -> None:
     else:
         backend = backend_from_spec(f"process:{args.workers}:{retries}" if retries else f"process:{args.workers}")
 
+    cache = ResultCache(args.cache) if args.cache is not None else None
     evaluator = Evaluator(
         general_purpose_range(),
         Objective.proportional(delta=args.delta),
         evaluator_settings,
         backend=backend,
+        cache=cache,
     )
 
     def progress(message, state):
@@ -170,6 +202,8 @@ def main() -> None:
         f"{optimizer.state.improvements} action improvements, "
         f"{optimizer.state.splits} splits, {len(tree)} rules"
     )
+    if cache is not None:
+        print(f"result cache: {cache.stats()}")
     path = save_remycc(tree, args.output)
     print(f"saved rule table to {path}")
 

@@ -30,7 +30,9 @@ from repro.core.whisker_tree import WhiskerTree
 from repro.netsim.network import NetworkSpec
 from repro.netsim.simulator import SimulationResult
 from repro.runner import (
+    CachingBackend,
     ExecutionBackend,
+    ResultCache,
     SerialBackend,
     SimJob,
     merge_whisker_stats,
@@ -116,11 +118,19 @@ class Evaluator:
         objective: Optional[Objective] = None,
         settings: Optional[EvaluatorSettings] = None,
         backend: Optional[ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None,
     ):
         self.config_range = config_range
         self.objective = objective if objective is not None else Objective.proportional(1.0)
         self.settings = settings if settings is not None else EvaluatorSettings()
         self.backend = backend if backend is not None else SerialBackend()
+        self.cache = cache
+        if cache is not None:
+            # Look-aside memoization by (rule table, specimen, seed): the
+            # hill climb re-scores its baseline constantly, and a resumed
+            # run replays whole epochs — both become cache hits that are
+            # bit-identical to recomputation.
+            self.backend = CachingBackend(self.backend, cache)
         self.specimens = config_range.specimens(
             self.settings.num_specimens, seed=self.settings.seed
         )

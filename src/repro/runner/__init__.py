@@ -7,8 +7,13 @@ as a picklable :class:`SimJob`, and runs batches through an
 across a pool of worker processes, or — for long fault-prone runs — through
 the fault-tolerant :class:`ResilientPoolBackend` (retry with deterministic
 backoff, per-chunk timeouts, poison-job bisection, serial degradation; see
-:mod:`repro.runner.resilience`).  :mod:`repro.runner.faults` provides the
-seeded chaos harness that makes fault-path tests reproducible.
+:mod:`repro.runner.resilience`).  :mod:`repro.runner.distributed` scales the
+same batches over the network: a lease-based work queue (:class:`QueueBackend`,
+backend spec ``queue:host:port``) with worker heartbeats, crash recovery and
+graceful degradation, while :mod:`repro.runner.cache` adds a content-addressed
+result cache so repeat evaluations of the same ``(rule table, scenario,
+seed)`` are served without running anything.  :mod:`repro.runner.faults`
+provides the seeded chaos harness that makes fault-path tests reproducible.
 """
 
 from repro.runner.backends import (
@@ -18,6 +23,14 @@ from repro.runner.backends import (
     SerialBackend,
     available_workers,
     backend_from_spec,
+    prepare_jobs,
+)
+from repro.runner.cache import (
+    CachingBackend,
+    ResultCache,
+    batch_cache_keys,
+    job_cache_key,
+    whisker_tree_token,
 )
 from repro.runner.faults import (
     FaultPlan,
@@ -26,6 +39,7 @@ from repro.runner.faults import (
     clear_fault_plan,
     fault_plan_installed,
     install_fault_plan,
+    mark_transport_worker,
 )
 from repro.runner.jobs import (
     SimJob,
@@ -45,20 +59,43 @@ from repro.runner.resilience import (
     PoisonJobError,
     ResilientPoolBackend,
     RetryPolicy,
+    record_failure,
 )
+from repro.runner.wire import ConnectionClosed, FrameError
+
+#: Lazily re-exported from :mod:`repro.runner.distributed` (PEP 562): an
+#: eager import here would load the module before ``python -m
+#: repro.runner.distributed`` executes it as ``__main__``, making runpy warn
+#: about the double life.
+_DISTRIBUTED_EXPORTS = ("LeaseQueue", "QueueBackend", "run_worker")
+
+
+def __getattr__(name: str) -> object:
+    if name in _DISTRIBUTED_EXPORTS:
+        from repro.runner import distributed
+
+        return getattr(distributed, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "CachingBackend",
     "ChunkExecutionError",
+    "ConnectionClosed",
     "CorruptResultError",
     "ExecutionBackend",
     "FakeClock",
     "FaultPlan",
+    "FrameError",
     "InjectedFault",
     "JobFailure",
+    "LeaseQueue",
     "MonotonicClock",
     "PoisonJobError",
     "ProcessPoolBackend",
+    "QueueBackend",
     "ResilientPoolBackend",
+    "ResultCache",
     "RetryPolicy",
     "SerialBackend",
     "SimJob",
@@ -67,12 +104,19 @@ __all__ = [
     "active_fault_plan",
     "available_workers",
     "backend_from_spec",
+    "batch_cache_keys",
     "chunk_result_mismatch",
     "clear_fault_plan",
     "collect_whisker_stats",
     "fault_plan_installed",
     "install_fault_plan",
+    "job_cache_key",
+    "mark_transport_worker",
     "merge_whisker_stats",
     "mix_seed",
+    "prepare_jobs",
+    "record_failure",
     "run_sim_job",
+    "run_worker",
+    "whisker_tree_token",
 ]

@@ -64,6 +64,70 @@ def available_workers() -> int:
     return os.cpu_count() or 1
 
 
+def check_factories_picklable(jobs: Sequence[SimJob]) -> None:
+    """Fail fast, with a clear error, on factories that cannot ship.
+
+    Without this, a closure ``protocol_factory`` (e.g. a lambda closing
+    over a rule table) dies deep inside the executor with a bare pickle
+    traceback — after workers have already been spawned.  Each distinct
+    factory is probed once per batch.
+    """
+    probed: set[int] = set()
+    for job in jobs:
+        factory = job.protocol_factory
+        if factory is None or id(factory) in probed:
+            continue
+        probed.add(id(factory))
+        try:
+            pickle.dumps(factory)
+        except Exception as exc:
+            raise ValueError(
+                f"protocol_factory {factory!r} (job {job.job_id}) is not "
+                "picklable, so it cannot cross a process boundary: "
+                "closures and lambdas do not pickle.  Use a module-level "
+                "callable (e.g. the protocol class), describe the scheme "
+                "by its rule table (tree=...) or a registered scenario "
+                "(scenario=...), or run on SerialBackend."
+            ) from exc
+
+
+def prepare_jobs(jobs: Sequence[SimJob]) -> list[SimJob]:
+    """Make a batch safe to ship across a process boundary.
+
+    Shared by every memory-isolated backend (process pool and distributed
+    queue alike): factories are probed for picklability, scenario *names*
+    are resolved against the submitting process's registry (a worker only
+    has the built-in cells), and each distinct rule table is replaced by a
+    statistics-free copy via the JSON serialization round trip, so workers
+    start from zeroed counters and their returned deltas are pure.
+    """
+    # Imported here rather than at module scope: repro.core's package
+    # __init__ imports the evaluator, which imports this package.
+    from repro.core.serialization import whisker_tree_from_dict, whisker_tree_to_dict
+
+    check_factories_picklable(jobs)
+    clean_trees: dict[int, object] = {}
+    prepared = []
+    for job in jobs:
+        if isinstance(job.scenario, str):
+            # Resolve names against the *submitting* process's registry:
+            # a worker only has the built-in cells, so a runtime-registered
+            # name would die there with a bare KeyError.  (Unknown names
+            # also fail fast here, before any worker is spawned.)
+            from repro.scenarios import get_scenario
+
+            job = replace(job, scenario=get_scenario(job.scenario))
+        if job.tree is not None:
+            key = id(job.tree)
+            if key not in clean_trees:
+                clean_trees[key] = whisker_tree_from_dict(
+                    whisker_tree_to_dict(job.tree)
+                )
+            job = replace(job, tree=clean_trees[key])
+        prepared.append(job)
+    return prepared
+
+
 class ChunkExecutionError(RuntimeError):
     """A worker chunk failed under :class:`ProcessPoolBackend`.
 
@@ -175,57 +239,10 @@ class ProcessPoolBackend(ExecutionBackend):
         return max(1, -(-n_jobs // (self.max_workers * 4)))
 
     def _check_factories_picklable(self, jobs: Sequence[SimJob]) -> None:
-        """Fail fast, with a clear error, on factories that cannot ship.
-
-        Without this, a closure ``protocol_factory`` (e.g. a lambda closing
-        over a rule table) dies deep inside the executor with a bare pickle
-        traceback — after workers have already been spawned.  Each distinct
-        factory is probed once per batch.
-        """
-        probed: set[int] = set()
-        for job in jobs:
-            factory = job.protocol_factory
-            if factory is None or id(factory) in probed:
-                continue
-            probed.add(id(factory))
-            try:
-                pickle.dumps(factory)
-            except Exception as exc:
-                raise ValueError(
-                    f"protocol_factory {factory!r} (job {job.job_id}) is not "
-                    "picklable, so it cannot cross a process boundary: "
-                    "closures and lambdas do not pickle.  Use a module-level "
-                    "callable (e.g. the protocol class), describe the scheme "
-                    "by its rule table (tree=...) or a registered scenario "
-                    "(scenario=...), or run on SerialBackend."
-                ) from exc
+        check_factories_picklable(jobs)
 
     def _prepare(self, jobs: Sequence[SimJob]) -> list[SimJob]:
-        # Imported here rather than at module scope: repro.core's package
-        # __init__ imports the evaluator, which imports this package.
-        from repro.core.serialization import whisker_tree_from_dict, whisker_tree_to_dict
-
-        self._check_factories_picklable(jobs)
-        clean_trees: dict[int, object] = {}
-        prepared = []
-        for job in jobs:
-            if isinstance(job.scenario, str):
-                # Resolve names against the *submitting* process's registry:
-                # a worker only has the built-in cells, so a runtime-registered
-                # name would die there with a bare KeyError.  (Unknown names
-                # also fail fast here, before any worker is spawned.)
-                from repro.scenarios import get_scenario
-
-                job = replace(job, scenario=get_scenario(job.scenario))
-            if job.tree is not None:
-                key = id(job.tree)
-                if key not in clean_trees:
-                    clean_trees[key] = whisker_tree_from_dict(
-                        whisker_tree_to_dict(job.tree)
-                    )
-                job = replace(job, tree=clean_trees[key])
-            prepared.append(job)
-        return prepared
+        return prepare_jobs(jobs)
 
     def run_batch(self, jobs: Sequence[SimJob]) -> list[SimJobResult]:
         jobs = self._prepare(jobs)
@@ -289,11 +306,14 @@ class ProcessPoolBackend(ExecutionBackend):
 
 #: Grammar reminder appended to every spec-format error.
 _SPEC_GRAMMAR = (
-    "expected 'serial' or 'process[:workers[:chunk[:retries]]]' where each "
-    "field is a positive integer or empty for the default — e.g. 'process', "
-    "'process:8', 'process:8:4', or 'process:::3' (retries only).  A "
-    "retries field selects ResilientPoolBackend (per-chunk retry, "
-    "poison-job isolation)."
+    "expected 'serial', 'process[:workers[:chunk[:retries]]]' (each field a "
+    "positive integer or empty for the default — e.g. 'process', "
+    "'process:8', 'process:8:4', or 'process:::3'; a retries field selects "
+    "ResilientPoolBackend with per-chunk retry and poison-job isolation), "
+    "or 'queue:host:port[:wait]' (QueueBackend: bind the distributed "
+    "coordinator on host:port — empty host means 127.0.0.1, port 0 picks an "
+    "ephemeral port — and degrade to in-process execution if no worker "
+    "registers within 'wait' seconds)."
 )
 
 
@@ -329,6 +349,15 @@ def backend_from_spec(spec: str) -> ExecutionBackend:
     fields keep their defaults, so ``"process::8"`` sets only the chunk size
     and ``"process:::3"`` only the retry budget.
 
+    ``"queue:host:port[:wait]"`` → a
+    :class:`~repro.runner.distributed.QueueBackend`: bind the distributed
+    coordinator on ``host:port`` (empty host → ``127.0.0.1``; port ``0`` →
+    an ephemeral port, readable from ``backend.port``) and lease job chunks
+    to remote workers started with ``python -m repro.runner.distributed
+    worker host:port``.  The optional ``wait`` (float seconds) bounds how
+    long a batch tolerates having *no* live workers before degrading to
+    in-process serial execution.
+
     Malformed specs raise a :class:`ValueError` that restates the grammar
     instead of a bare ``int()`` traceback.
     """
@@ -362,4 +391,53 @@ def backend_from_spec(spec: str) -> ExecutionBackend:
                 retry=RetryPolicy(max_attempts=retries),
             )
         return ProcessPoolBackend(max_workers=workers, chunk_jobs=chunk)
-    raise ValueError(f"unknown backend spec {spec!r}; {_SPEC_GRAMMAR}")
+    if name == "queue":
+        fields = arg.split(":") if arg else []
+        if len(fields) < 2:
+            raise ValueError(
+                f"invalid backend spec {spec!r}: queue needs both a host and "
+                f"a port ('queue:host:port[:wait]', e.g. "
+                f"'queue:127.0.0.1:7000' or 'queue::0'); {_SPEC_GRAMMAR}"
+            )
+        if len(fields) > 3:
+            raise ValueError(
+                f"invalid backend spec {spec!r}: too many fields "
+                f"({len(fields)}); {_SPEC_GRAMMAR}"
+            )
+        host = fields[0] or "127.0.0.1"
+        try:
+            port = int(fields[1])
+        except ValueError:
+            raise ValueError(
+                f"invalid backend spec {spec!r}: port field {fields[1]!r} is "
+                f"not an integer; {_SPEC_GRAMMAR}"
+            ) from None
+        if not 0 <= port <= 65535:
+            raise ValueError(
+                f"invalid backend spec {spec!r}: port must lie in [0, 65535] "
+                f"(0 = ephemeral), got {port}; {_SPEC_GRAMMAR}"
+            )
+        wait: Optional[float] = None
+        if len(fields) == 3 and fields[2]:
+            try:
+                wait = float(fields[2])
+            except ValueError:
+                raise ValueError(
+                    f"invalid backend spec {spec!r}: wait field {fields[2]!r} "
+                    f"is not a number of seconds; {_SPEC_GRAMMAR}"
+                ) from None
+            if wait <= 0:
+                raise ValueError(
+                    f"invalid backend spec {spec!r}: wait must be positive "
+                    f"seconds, got {wait}; {_SPEC_GRAMMAR}"
+                )
+        # Imported here: distributed imports this module for prepare_jobs.
+        from repro.runner.distributed import QueueBackend
+
+        if wait is not None:
+            return QueueBackend(host=host, port=port, worker_wait=wait)
+        return QueueBackend(host=host, port=port)
+    raise ValueError(
+        f"unknown backend spec {spec!r}: family {name!r} is not one of "
+        f"'serial', 'process', or 'queue'; {_SPEC_GRAMMAR}"
+    )

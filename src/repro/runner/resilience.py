@@ -228,6 +228,84 @@ class _WorkItem:
 BatchEntry = Union[SimJobResult, JobFailure]
 
 
+def record_failure(
+    item: _WorkItem,
+    kind: str,
+    message: str,
+    *,
+    max_attempts: int,
+    results: list[Optional[BatchEntry]],
+    failures: list[JobFailure],
+    retry_queue: list[_WorkItem],
+    solo_queue: list[_WorkItem],
+) -> None:
+    """Charge one failed attempt to ``item`` and decide its future.
+
+    The shared verdict machinery of the fault-tolerant execution layer,
+    used by both :class:`ResilientPoolBackend` and the distributed
+    coordinator's lease queue.  Retry while attempts remain; then bisect
+    multi-job chunks (each half starts over with a fresh attempt budget).
+    A *single* job out of attempts is not condemned yet: a pool break (or a
+    worker eviction) charges every in-flight chunk — the culprit cannot be
+    told from its victims — so an innocent job can exhaust its attempts
+    purely collaterally.  It is instead promoted to the
+    **solo-confirmation** queue — re-run with nothing else in flight
+    (locally) or on a fresh lease (distributed), where a failure is
+    unambiguously its own — and only a job that also exhausts its solo
+    attempts becomes a :class:`JobFailure`.
+    """
+    attempt = item.attempt + 1
+    if attempt < max_attempts:
+        retry_queue.append(replace(item, attempt=attempt))
+        return
+    if len(item.jobs) > 1:
+        mid = len(item.jobs) // 2
+        retry_queue.append(_WorkItem(item.start, item.jobs[:mid]))
+        retry_queue.append(_WorkItem(item.start + mid, item.jobs[mid:]))
+        return
+    if not item.solo:
+        solo_queue.append(_WorkItem(item.start, item.jobs, solo=True))
+        return
+    failure = JobFailure(
+        job_id=item.jobs[0].job_id, kind=kind, attempts=attempt, message=message
+    )
+    failures.append(failure)
+    results[item.start] = failure
+
+
+def run_item_serially(
+    item: _WorkItem,
+    results: list[Optional[BatchEntry]],
+    failures: list[JobFailure],
+) -> None:
+    """Execute one work item in-process — the shared degraded path.
+
+    Used when a backend stops trusting its workers: the resilient pool
+    after too many rebuilds, and the distributed coordinator when no worker
+    is alive.  Runs job by job so a genuine per-job exception is attributed
+    to that job alone.  Statistics collection mirrors the worker chunk
+    entry point, so training-mode delta merging is unaffected by
+    degradation.  Injected faults do not fire here: this is not a worker
+    process.
+    """
+    for offset, job in enumerate(item.jobs):
+        try:
+            result = run_sim_job(
+                job, collect_stats=job.training and job.tree is not None
+            )
+        except Exception as exc:
+            failure = JobFailure(
+                job_id=job.job_id,
+                kind="exception",
+                attempts=item.attempt + 1,
+                message=repr(exc),
+            )
+            failures.append(failure)
+            results[item.start + offset] = failure
+        else:
+            results[item.start + offset] = result
+
+
 class ResilientPoolBackend(ProcessPoolBackend):
     """A process pool that survives worker crashes, hangs and bad results.
 
@@ -304,35 +382,17 @@ class ResilientPoolBackend(ProcessPoolBackend):
         retry_queue: list[_WorkItem],
         solo_queue: list[_WorkItem],
     ) -> None:
-        """Charge one failed attempt to ``item`` and decide its future.
-
-        Retry while attempts remain; then bisect multi-job chunks (each half
-        starts over with a fresh attempt budget).  A *single* job out of
-        attempts is not condemned yet: a pool break charges every in-flight
-        chunk (the culprit cannot be told from its victims), so an innocent
-        job can exhaust its attempts purely collaterally.  It is instead
-        promoted to the **solo-confirmation** queue — re-run with nothing
-        else in flight, where any failure is unambiguously its own — and
-        only a job that also exhausts its solo attempts becomes a
-        :class:`JobFailure`.
-        """
-        attempt = item.attempt + 1
-        if attempt < self.retry.max_attempts:
-            retry_queue.append(replace(item, attempt=attempt))
-            return
-        if len(item.jobs) > 1:
-            mid = len(item.jobs) // 2
-            retry_queue.append(_WorkItem(item.start, item.jobs[:mid]))
-            retry_queue.append(_WorkItem(item.start + mid, item.jobs[mid:]))
-            return
-        if not item.solo:
-            solo_queue.append(_WorkItem(item.start, item.jobs, solo=True))
-            return
-        failure = JobFailure(
-            job_id=item.jobs[0].job_id, kind=kind, attempts=attempt, message=message
+        """Delegate to the shared :func:`record_failure` verdict machinery."""
+        record_failure(
+            item,
+            kind,
+            message,
+            max_attempts=self.retry.max_attempts,
+            results=results,
+            failures=failures,
+            retry_queue=retry_queue,
+            solo_queue=solo_queue,
         )
-        failures.append(failure)
-        results[item.start] = failure
 
     @staticmethod
     def _validate_chunk(item: _WorkItem, chunk_results: list[SimJobResult]) -> None:
@@ -350,29 +410,8 @@ class ResilientPoolBackend(ProcessPoolBackend):
         results: list[Optional[BatchEntry]],
         failures: list[JobFailure],
     ) -> None:
-        """Execute one work item in-process (the degraded path).
-
-        Runs job by job so a genuine per-job exception is attributed to that
-        job alone.  Statistics collection mirrors the worker chunk entry
-        point, so training-mode delta merging is unaffected by degradation.
-        Injected faults do not fire here: this is not a worker process.
-        """
-        for offset, job in enumerate(item.jobs):
-            try:
-                result = run_sim_job(
-                    job, collect_stats=job.training and job.tree is not None
-                )
-            except Exception as exc:
-                failure = JobFailure(
-                    job_id=job.job_id,
-                    kind="exception",
-                    attempts=item.attempt + 1,
-                    message=repr(exc),
-                )
-                failures.append(failure)
-                results[item.start + offset] = failure
-            else:
-                results[item.start + offset] = result
+        """Delegate to the shared :func:`run_item_serially` degraded path."""
+        run_item_serially(item, results, failures)
 
     # -- the batch loop ------------------------------------------------------
     def run_batch(self, jobs: Sequence[SimJob]) -> list[SimJobResult]:

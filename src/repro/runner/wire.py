@@ -1,0 +1,164 @@
+"""Framing for the distributed runner: length-prefixed, checksummed JSON.
+
+One message = an 8-byte header (``!II``: payload length, CRC32) followed by
+a UTF-8 JSON object.  Bulk values that are not JSON-able — pickled
+:class:`~repro.runner.jobs.SimJob` chunks and their results — travel as
+base64 strings inside the JSON envelope, so the control protocol stays
+line-printable and debuggable while the payloads keep pickle's exactness
+(bit-identical round trips are the whole point of the result cache).
+
+The checksum is what turns a corrupted or truncated frame into a
+*detected* failure (:class:`FrameError`) instead of a misparse: the
+coordinator drops the offending connection and charges the lease, the
+worker reconnects — exercised deterministically by the ``corrupt_frame``
+fault mode of :class:`~repro.runner.faults.FaultPlan`.
+
+Blocking helpers (:func:`send_message` / :func:`recv_message`) serve the
+worker side; the coordinator's non-blocking event loop feeds received
+bytes through a :class:`FrameBuffer` instead.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+import zlib
+from typing import Any
+
+#: Frame header: payload byte length, then CRC32 of the payload.
+HEADER = struct.Struct("!II")
+
+#: Upper bound on one frame.  Generous — a chunk of jobs with a large rule
+#: table is a few hundred KB — but finite, so a garbage length field from a
+#: corrupted header cannot make a reader allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(RuntimeError):
+    """A frame failed its checksum, size bound, or JSON envelope parse."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection at a frame boundary (or mid-frame)."""
+
+
+def frame(payload: bytes) -> bytes:
+    """The on-wire bytes for one payload (header + body)."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def corrupt_frame(payload: bytes) -> bytes:
+    """A deliberately damaged frame (checksum cannot match) — fault injection."""
+    checksum = zlib.crc32(payload) ^ 0xDEADBEEF
+    return HEADER.pack(len(payload), checksum) + payload
+
+
+class FrameBuffer:
+    """Incremental frame reassembly for a non-blocking reader."""
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._data += data
+
+    def next_frame(self) -> bytes | None:
+        """The next complete payload, or ``None`` until more bytes arrive.
+
+        Raises :class:`FrameError` on an oversized length field or a
+        checksum mismatch; the caller must drop the connection — after a
+        bad frame the stream offset can no longer be trusted.
+        """
+        if len(self._data) < HEADER.size:
+            return None
+        length, checksum = HEADER.unpack(self._data[: HEADER.size])
+        if length > MAX_FRAME_BYTES:
+            raise FrameError(
+                f"frame header claims {length} bytes (> {MAX_FRAME_BYTES}); "
+                "stream corrupt"
+            )
+        if len(self._data) < HEADER.size + length:
+            return None
+        payload = bytes(self._data[HEADER.size : HEADER.size + length])
+        del self._data[: HEADER.size + length]
+        if zlib.crc32(payload) != checksum:
+            raise FrameError("frame checksum mismatch; payload rejected")
+        return payload
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    data = bytearray()
+    while len(data) < n:
+        chunk = sock.recv(n - len(data))
+        if not chunk:
+            raise ConnectionClosed(
+                f"connection closed after {len(data)} of {n} expected bytes"
+            )
+        data += chunk
+    return bytes(data)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Read one complete frame from a blocking socket (worker side)."""
+    length, checksum = HEADER.unpack(_recv_exact(sock, HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame header claims {length} bytes (> {MAX_FRAME_BYTES}); "
+            "stream corrupt"
+        )
+    payload = _recv_exact(sock, length)
+    if zlib.crc32(payload) != checksum:
+        raise FrameError("frame checksum mismatch; payload rejected")
+    return payload
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """JSON payload bytes for one control message (sorted keys: canonical)."""
+    return json.dumps(message, sort_keys=True).encode("utf-8")
+
+
+def decode_message(payload: bytes) -> dict[str, Any]:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not a JSON message: {exc}") from exc
+    if not isinstance(message, dict) or not isinstance(message.get("type"), str):
+        raise FrameError("frame payload is not a message object with a 'type'")
+    return message
+
+
+def send_message(sock: socket.socket, message: dict[str, Any]) -> None:
+    sock.sendall(frame(encode_message(message)))
+
+
+def recv_message(sock: socket.socket) -> dict[str, Any]:
+    return decode_message(recv_frame(sock))
+
+
+def encode_payload(obj: object) -> str:
+    """Pickle + base64: bulk object transport inside the JSON envelope."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_payload(text: str) -> Any:
+    try:
+        return pickle.loads(base64.b64decode(text.encode("ascii")))
+    except Exception as exc:
+        raise FrameError(f"embedded payload failed to unpickle: {exc!r}") from exc
+
+
+def connect(address: tuple[str, int], timeout: float) -> socket.socket:
+    """Open a worker connection with an explicit I/O timeout (SOC001)."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(timeout)
+    return sock

@@ -52,8 +52,8 @@ def lint_file(path: Path) -> list[Violation]:
 class TestFixtures:
     def test_fixture_tree_is_complete(self):
         # One bad + one good fixture per rule, and every rule is exercised.
-        assert len(BAD_FIXTURES) == 6
-        assert len(GOOD_FIXTURES) == 6
+        assert len(BAD_FIXTURES) == 7
+        assert len(GOOD_FIXTURES) == 7
         covered = {rule for path in BAD_FIXTURES for _, rule in expected_markers(path)}
         assert covered == {rule.rule_id for rule in all_rules()}
 

@@ -51,6 +51,7 @@ from repro.runner import (
     fault_plan_installed,
     install_fault_plan,
 )
+from repro.runner import faults
 from repro.runner.faults import CORRUPTED_JOB_ID, iter_fault_schedule, worker_fault_plan
 from repro.scenarios import (
     get_scenario,
@@ -191,6 +192,133 @@ class TestFaultPlan:
         plan = FaultPlan(seed=0, exception_rate=1.0)
         with pytest.raises(InjectedFault):
             plan.apply_before_run(3, 0)
+
+
+# ---------------------------------------------------------------------------
+# Network fault vocabulary (the distributed-coordinator modes)
+# ---------------------------------------------------------------------------
+class TestNetworkFaultModes:
+    def test_network_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(disconnect_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(stall_rate=0.6, corrupt_frame_rate=0.6)
+        with pytest.raises(ValueError):
+            FaultPlan(stall_seconds=0.0)
+
+    def test_network_draw_is_deterministic_and_covers_every_mode(self):
+        plan = FaultPlan(
+            seed=4,
+            disconnect_rate=0.2,
+            stall_rate=0.2,
+            corrupt_frame_rate=0.2,
+            duplicate_result_rate=0.2,
+        )
+        schedule = [
+            plan.network_mode_for(job_id, attempt)
+            for job_id in range(60)
+            for attempt in range(2)
+        ]
+        assert schedule == [
+            plan.network_mode_for(job_id, attempt)
+            for job_id in range(60)
+            for attempt in range(2)
+        ]
+        assert set(schedule) == {
+            "disconnect", "stall", "corrupt_frame", "duplicate", None
+        }
+
+    def test_network_draw_is_independent_of_the_legacy_schedule(self):
+        # Adding network rates must not perturb the crash/hang/exception/
+        # corrupt schedule: existing chaos expectations stay pinned.
+        legacy = FaultPlan(seed=11, crash_rate=0.3, exception_rate=0.3)
+        combined = FaultPlan(
+            seed=11,
+            crash_rate=0.3,
+            exception_rate=0.3,
+            disconnect_rate=0.2,
+            stall_rate=0.2,
+        )
+        jobs = list(range(50))
+        assert iter_fault_schedule(legacy, jobs, attempts=3) == iter_fault_schedule(
+            combined, jobs, attempts=3
+        )
+        # And the two draws are genuinely decorrelated: some (job, attempt)
+        # pairs carry a network fault but no legacy fault, and vice versa.
+        pairs = [(j, a) for j in jobs for a in range(3)]
+        net_only = [
+            p for p in pairs
+            if combined.network_mode_for(*p) and not combined.mode_for(*p)
+        ]
+        legacy_only = [
+            p for p in pairs
+            if combined.mode_for(*p) and not combined.network_mode_for(*p)
+        ]
+        assert net_only and legacy_only
+
+    def test_max_faulty_attempts_limits_network_injection_too(self):
+        plan = FaultPlan(seed=0, disconnect_rate=1.0, max_faulty_attempts=2)
+        assert plan.network_mode_for(1, 0) == "disconnect"
+        assert plan.network_mode_for(1, 1) == "disconnect"
+        assert plan.network_mode_for(1, 2) is None
+
+    def test_network_fields_survive_json_round_trip(self):
+        plan = FaultPlan(
+            seed=9,
+            disconnect_rate=0.1,
+            stall_rate=0.2,
+            corrupt_frame_rate=0.05,
+            duplicate_result_rate=0.15,
+            stall_seconds=1.25,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_corrupt_frame_aliases_to_a_corrupted_result_locally(self, serial_results):
+        # In a pool worker there is no frame to damage, so the nearest
+        # analogue is a result that fails validation.
+        plan = FaultPlan(seed=0, corrupt_frame_rate=1.0)
+        corrupted = plan.apply_after_run(0, 0, serial_results[0])
+        assert corrupted.job_id == CORRUPTED_JOB_ID
+
+    def test_duplicate_has_no_local_analogue(self, serial_results):
+        # A pool cannot deliver a future twice: the duplicate mode must be
+        # a no-op locally (neither a pre-run fault nor a corrupted result).
+        plan = FaultPlan(seed=0, duplicate_result_rate=1.0)
+        plan.apply_before_run(0, 0)  # must not raise or exit
+        assert plan.apply_after_run(0, 0, serial_results[0]) == serial_results[0]
+
+    def test_transport_workers_suppress_the_local_aliases(
+        self, serial_results, monkeypatch
+    ):
+        # A distributed worker applies network faults natively at the
+        # socket layer; the in-process aliasing must not fire a second time
+        # for the same (job, attempt).
+        plan = FaultPlan(seed=0, corrupt_frame_rate=1.0, stall_rate=0.0)
+        monkeypatch.setattr(faults, "_network_faults_at_transport", True)
+        assert plan.apply_after_run(0, 0, serial_results[0]) == serial_results[0]
+
+    def test_pool_survives_aliased_network_faults(self, serial_results):
+        # disconnect → crash (pool break + rebuild), stall → a short hang,
+        # corrupt_frame → rejected result, duplicate → no-op: the resilient
+        # pool must recover all of them and stay bit-identical to serial.
+        plan = FaultPlan(
+            seed=21,
+            disconnect_rate=0.25,
+            stall_rate=0.25,
+            corrupt_frame_rate=0.25,
+            duplicate_result_rate=0.25,
+            stall_seconds=0.2,
+            max_faulty_attempts=1,
+        )
+        retry = RetryPolicy(
+            max_attempts=5, backoff_base=0.0, jitter=0.0, max_pool_rebuilds=50
+        )
+        with fault_plan_installed(plan):
+            with ResilientPoolBackend(
+                max_workers=2, chunk_jobs=2, retry=retry
+            ) as backend:
+                results = backend.run_batch(make_jobs())
+        assert results == serial_results
 
 
 # ---------------------------------------------------------------------------
@@ -437,9 +565,21 @@ CHAOS_CELLS = (
     scenario_names() if CHAOS_FULL else sorted(s.name for s in smoke_scenarios())
 )
 
-#: ≥30% of (job, attempt) pairs crash; retries re-roll, so with a generous
-#: attempt budget every cell eventually lands a clean execution.
-CHAOS_PLAN = FaultPlan(seed=1302, crash_rate=0.35, max_faulty_attempts=3)
+#: ≥30% of (job, attempt) pairs crash — plus an independent draw of the
+#: network fault vocabulary, which the local pool recovers through its
+#: aliases (disconnect → crash, stall → a short hang, corrupt_frame → a
+#: rejected result, duplicate → no-op).  Retries re-roll, so with a
+#: generous attempt budget every cell eventually lands a clean execution.
+CHAOS_PLAN = FaultPlan(
+    seed=1302,
+    crash_rate=0.35,
+    max_faulty_attempts=3,
+    disconnect_rate=0.10,
+    stall_rate=0.05,
+    corrupt_frame_rate=0.05,
+    duplicate_result_rate=0.05,
+    stall_seconds=0.3,
+)
 CHAOS_RETRY = RetryPolicy(
     max_attempts=25, backoff_base=0.0, jitter=0.0, max_pool_rebuilds=10_000
 )

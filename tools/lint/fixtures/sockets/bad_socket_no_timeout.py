@@ -1,0 +1,20 @@
+"""SOC001 positive fixture: sockets left in default-blocking mode."""
+
+import socket
+
+
+def connect_to_coordinator(host: str, port: int) -> socket.socket:
+    return socket.create_connection((host, port))  # expected: SOC001
+
+
+def open_listener(port: int) -> socket.socket:
+    return socket.create_server(("127.0.0.1", port))  # expected: SOC001
+
+
+def raw_socket() -> socket.socket:
+    return socket.socket(socket.AF_INET, socket.SOCK_STREAM)  # expected: SOC001
+
+
+def wait_for_worker(listener: socket.socket) -> socket.socket:
+    conn, _addr = listener.accept()  # expected: SOC001
+    return conn

@@ -1,0 +1,27 @@
+"""SOC001 negative fixture: every socket gets an explicit timeout regime."""
+
+import socket
+
+
+def connect_to_coordinator(host: str, port: int, timeout: float) -> socket.socket:
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    return sock
+
+
+def open_listener(port: int) -> socket.socket:
+    listener = socket.create_server(("127.0.0.1", port))
+    listener.setblocking(False)
+    return listener
+
+
+def raw_socket(timeout: float) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    return sock
+
+
+def wait_for_worker(listener: socket.socket) -> socket.socket:
+    conn, _addr = listener.accept()
+    conn.setblocking(False)
+    return conn
