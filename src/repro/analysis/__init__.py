@@ -9,6 +9,8 @@
   shares (Figure 10).
 * :mod:`repro.analysis.compare` — median speedup / delay-reduction tables
   (the summary tables in §1 and §5.8).
+* :mod:`repro.analysis.study` — the scheme × path × AQM grid study behind
+  the committed ``results/STUDY.md`` ranked-frontier tables.
 """
 
 from repro.analysis.summary import SchemeSummary, summarize_runs

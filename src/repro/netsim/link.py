@@ -46,6 +46,15 @@ class LinkBase:
         #: attaches one map to every forward hop, so a flow accumulates one
         #: queueing-delay sample per hop traversed.
         self.delay_stats: Optional[dict] = None
+        #: Optional per-(flow, this-hop) attribution map: flow id ->
+        #: :class:`~repro.netsim.stats.HopDelayStats`.  Unlike
+        #: ``delay_stats`` (shared across a path's forward hops, folding all
+        #: hops into the flow totals), this map is private to one link, so a
+        #: multi-hop :class:`~repro.netsim.path.PathNetwork` can answer
+        #: *which* bottleneck contributed the queueing.  Updated in addition
+        #: to the flow totals; ``None`` (the dumbbell default) costs one
+        #: attribute check per transmitted packet.
+        self.hop_delay_stats: Optional[dict] = None
         self.packets_delivered = 0
         self.bytes_delivered = 0
 
@@ -78,6 +87,14 @@ class LinkBase:
                 stats.queue_delay_count += 1
                 if delay > stats.max_queue_delay:
                     stats.max_queue_delay = delay
+                hop_map = self.hop_delay_stats
+                if hop_map is not None:
+                    hop = hop_map.get(packet.flow_id)
+                    if hop is not None:
+                        hop.delay_sum += delay
+                        hop.count += 1
+                        if delay > hop.max_delay:
+                            hop.max_delay = delay
 
     def _emit(self, packet: Packet) -> None:
         """Record a departure and schedule arrival at the far end."""
@@ -144,6 +161,14 @@ class ConstantRateLink(LinkBase):
                     stats.queue_delay_count += 1
                     if delay > stats.max_queue_delay:
                         stats.max_queue_delay = delay
+                    hop_map = self.hop_delay_stats
+                    if hop_map is not None:
+                        hop = hop_map.get(packet.flow_id)
+                        if hop is not None:
+                            hop.delay_sum += delay
+                            hop.count += 1
+                            if delay > hop.max_delay:
+                                hop.max_delay = delay
         self._busy = True
         # Serialization delay: size / rate.
         scheduler.post_after(
@@ -185,14 +210,18 @@ class TraceDrivenLink(LinkBase):
         propagation_delay: float = 0.0,
         cyclic: bool = True,
         name: str = "trace-link",
+        mss_bytes: int = 1500,
     ) -> None:
         super().__init__(scheduler, queue, propagation_delay, name)
         if len(delivery_times) == 0:
             raise ValueError("delivery_times must not be empty")
+        if mss_bytes <= 0:
+            raise ValueError("mss_bytes must be positive")
         times = list(delivery_times)
         if any(b < a for a, b in zip(times, times[1:])):
             raise ValueError("delivery_times must be non-decreasing")
         self.delivery_times = times
+        self.mss_bytes = mss_bytes
         self.cyclic = cyclic
         self._index = 0
         self._cycle_offset = 0.0
@@ -239,8 +268,13 @@ class TraceDrivenLink(LinkBase):
 
     @property
     def mean_rate_bps(self) -> float:
-        """Long-term average delivery rate implied by the trace (for XCP)."""
+        """Long-term average delivery rate implied by the trace (for XCP).
+
+        Each delivery opportunity carries one ``mss_bytes`` segment, so the
+        capacity estimate scales with the configured MSS rather than assuming
+        1500-byte packets.
+        """
         span = self.delivery_times[-1] - self.delivery_times[0]
         if span <= 0:
             return float("inf")
-        return (len(self.delivery_times) - 1) * 1500 * 8 / span
+        return (len(self.delivery_times) - 1) * self.mss_bytes * 8 / span

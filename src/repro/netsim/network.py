@@ -309,6 +309,7 @@ class DumbbellNetwork:
                 queue=queue,
                 propagation_delay=0.0,
                 name="bottleneck",
+                mss_bytes=spec.mss_bytes,
             )
         else:
             self.bottleneck = ConstantRateLink(

@@ -66,7 +66,7 @@ from repro.netsim.packet import Packet
 from repro.netsim.queue import QueueDiscipline
 from repro.netsim.receiver import Receiver
 from repro.netsim.sender import Sender
-from repro.netsim.stats import FlowStats
+from repro.netsim.stats import FlowStats, HopDelayStats
 
 
 @dataclass
@@ -164,6 +164,7 @@ class LinkSpec:
         scheduler: EventScheduler,
         queue: QueueDiscipline,
         name: str,
+        mss_bytes: int = 1500,
     ) -> LinkBase:
         """Materialize the hop (constant-rate or trace-driven)."""
         if self.delivery_trace is not None:
@@ -173,6 +174,7 @@ class LinkSpec:
                 queue=queue,
                 propagation_delay=self.delay,
                 name=name,
+                mss_bytes=mss_bytes,
             )
         return ConstantRateLink(
             scheduler,
@@ -360,7 +362,8 @@ class PathNetwork:
         for index, link_spec in enumerate(spec.forward):
             queue = link_spec.make_queue(self.rng, spec.mss_bytes, mean_rtt)
             link = link_spec.build_link(
-                scheduler, queue, link_spec.name or f"fwd{index}"
+                scheduler, queue, link_spec.name or f"fwd{index}",
+                mss_bytes=spec.mss_bytes,
             )
             link.connect(partial(self._forward_delivered, index))
             self.forward_links.append(link)
@@ -372,7 +375,8 @@ class PathNetwork:
         for index, link_spec in enumerate(spec.reverse):
             queue = link_spec.make_queue(self.rng, spec.mss_bytes, mean_rtt)
             link = link_spec.build_link(
-                scheduler, queue, link_spec.name or f"rev{index}"
+                scheduler, queue, link_spec.name or f"rev{index}",
+                mss_bytes=spec.mss_bytes,
             )
             link.connect(partial(self._reverse_delivered, index))
             self.reverse_links.append(link)
@@ -390,6 +394,17 @@ class PathNetwork:
         self._delay_stats: dict[int, FlowStats] = {}
         for link in self.forward_links:
             link.delay_stats = self._delay_stats
+
+        #: Per-forward-hop attribution: one ``flow id ->``
+        #: :class:`~repro.netsim.stats.HopDelayStats` map per hop, answering
+        #: *which* bottleneck contributed a flow's queueing.  Accumulators
+        #: are registered in :meth:`attach_flow` for exactly the hops the
+        #: flow traverses; the flow-total counters above are untouched.
+        self.hop_delay_stats: list[dict[int, HopDelayStats]] = [
+            {} for _ in spec.forward
+        ]
+        for index, link in enumerate(self.forward_links):
+            link.hop_delay_stats = self.hop_delay_stats[index]
 
         #: Per-hop routing: flow id -> handler for a packet leaving the hop
         #: (next hop's entry, or the endpoint delivery partial).
@@ -466,6 +481,8 @@ class PathNetwork:
         )
         self.flows[flow_id] = endpoints
         self._delay_stats[flow_id] = sender.stats
+        for hop in forward_hops:
+            self.hop_delay_stats[hop][flow_id] = HopDelayStats()
         return endpoints
 
     # -- packet plumbing -------------------------------------------------------

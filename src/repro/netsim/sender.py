@@ -354,6 +354,14 @@ class Sender:
         if self.state != "on":
             ack.release()  # stale ACK from an abandoned flow
             return
+        # An ACK still in flight from a *previous* on-period (it survived the
+        # off gap) echoes a send time before this period began.  Processing it
+        # would classify it as a duplicate (its cumulative ack cannot advance
+        # past a restarted flow's) and three of them would fire a spurious
+        # fast retransmit / cc.on_loss on a flow that has lost nothing.
+        if ack.echo_sent_time < self.on_start_time:
+            ack.release()  # stale ACK from a previous on-period
+            return
         now = self.scheduler.now
 
         ack_seq = ack.ack_seq

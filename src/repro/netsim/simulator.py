@@ -23,7 +23,7 @@ from repro.netsim.packet import PacketPool
 from repro.netsim.path import PathNetwork, PathSpec
 from repro.netsim.receiver import Receiver
 from repro.netsim.sender import Sender, Workload
-from repro.netsim.stats import FlowStats
+from repro.netsim.stats import FlowStats, HopDelayStats
 
 #: Topology descriptions a :class:`Simulation` accepts.
 TopologySpec = Union[NetworkSpec, PathSpec]
@@ -41,6 +41,12 @@ class SimulationResult:
     queue_drops: int = 0
     queue_marks: int = 0
     events_processed: int = 0
+    #: Per-forward-hop queueing-delay attribution (path topologies only):
+    #: one ``flow id ->`` :class:`~repro.netsim.stats.HopDelayStats` map per
+    #: forward hop, in chain order.  Empty for dumbbell runs, whose single
+    #: bottleneck *is* the flow-total queueing delay.  Defaulted so results
+    #: pickled by older workers still unpickle.
+    hop_delays: list[dict[int, HopDelayStats]] = field(default_factory=list)
 
     # -- per-flow accessors ------------------------------------------------------
     def throughputs_mbps(self) -> list[float]:
@@ -74,6 +80,20 @@ class SimulationResult:
 
     def total_bytes_received(self) -> int:
         return sum(s.bytes_received for s in self.flow_stats)
+
+    # -- per-hop attribution ------------------------------------------------------
+    def hop_delay_breakdown(self, flow_id: int) -> list[Optional[HopDelayStats]]:
+        """One entry per forward hop: the flow's accumulator there, or
+        ``None`` for hops the flow does not traverse.  Empty for dumbbells."""
+        return [hop_map.get(flow_id) for hop_map in self.hop_delays]
+
+    def hop_avg_delays_ms(self, flow_id: int) -> list[float]:
+        """Mean queueing delay (ms) the flow experienced at each forward hop
+        (0.0 at hops it does not traverse).  Empty for dumbbells."""
+        return [
+            hop.avg_delay_ms() if hop is not None else 0.0
+            for hop in self.hop_delay_breakdown(flow_id)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -212,6 +232,7 @@ class Simulation:
             queue_drops=self.network.queue_drops,
             queue_marks=self.network.queue_marks,
             events_processed=self.scheduler.events_processed,
+            hop_delays=getattr(self.network, "hop_delay_stats", []),
         )
 
 

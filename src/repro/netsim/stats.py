@@ -15,6 +15,34 @@ from typing import Optional
 
 
 @dataclass(slots=True)
+class HopDelayStats:
+    """Queueing-delay accumulator for one (flow, hop) pair.
+
+    The per-hop breakdown of :attr:`FlowStats.queue_delay_sum`: a multi-hop
+    :class:`~repro.netsim.path.PathNetwork` attaches one of these per forward
+    hop a flow traverses, so "which bottleneck contributed the queueing" is
+    answerable after the run.  Accumulation is independent of (and in
+    addition to) the flow-total counters, so the committed fingerprints —
+    which pin the totals — are unaffected; per-hop sums add up to the total
+    only within float tolerance (different summation order).
+    """
+
+    delay_sum: float = 0.0
+    count: int = 0
+    max_delay: float = 0.0
+
+    def avg_delay(self) -> float:
+        """Mean per-packet queueing delay at this hop (seconds)."""
+        if self.count == 0:
+            return 0.0
+        return self.delay_sum / self.count
+
+    def avg_delay_ms(self) -> float:
+        """Mean per-packet queueing delay at this hop (milliseconds)."""
+        return self.avg_delay() * 1000
+
+
+@dataclass(slots=True)
 class FlowStats:
     """Accumulated statistics for one sender-receiver pair."""
 

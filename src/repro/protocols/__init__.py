@@ -12,6 +12,7 @@ from repro.protocols.constant_rate import ConstantRate
 from repro.protocols.newreno import NewReno
 from repro.protocols.vegas import Vegas
 from repro.protocols.cubic import Cubic
+from repro.protocols.bbr import BBR
 from repro.protocols.compound import CompoundTCP
 from repro.protocols.dctcp import DCTCP
 from repro.protocols.xcp import XCP, XCPRouterQueue
@@ -25,6 +26,7 @@ PROTOCOLS = {
     "newreno": NewReno,
     "vegas": Vegas,
     "cubic": Cubic,
+    "bbr": BBR,
     "compound": CompoundTCP,
     "dctcp": DCTCP,
     "xcp": XCP,
@@ -38,6 +40,7 @@ __all__ = [
     "NewReno",
     "Vegas",
     "Cubic",
+    "BBR",
     "CompoundTCP",
     "DCTCP",
     "XCP",

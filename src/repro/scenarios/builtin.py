@@ -20,6 +20,7 @@ Topology        Smoke cell               Covers
 ``rtt``         ``fig10-rtt-fairness``   per-flow RTT asymmetry (§5.4)
 ``datacenter``  ``datacenter-dctcp``     high-rate/low-RTT incast-ish (§5.5)
 ``path``        ``parking-lot-2bn``      multi-bottleneck / reverse-path cells
+``aqm``         ``bbr-dumbbell-droptail``  BBR vs. tail-drop / AQM gateways
 ``bench``       ``bench-newreno-droptail``  events/sec benchmark cases
 ==============  =======================  ===================================
 
@@ -545,6 +546,77 @@ register_scenario(
         protocols=(ProtocolSpec("newreno"),),
         duration=2.5,
         seed=307,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# BBR vs. AQM cells (the `aqm` topology)
+#
+# BBR's model-based rate control meets three queue regimes: the deep
+# tail-drop buffer it was designed to avoid filling, a CoDel gateway whose
+# sojourn-time drops punish any standing queue BBR's cruise phase leaves,
+# and per-flow sfqCoDel on a multi-hop path (does flow isolation mask
+# BBR's PROBE_BW overshoot from its neighbours?).
+# ---------------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="bbr-dumbbell-droptail",
+        description="BBR on the §5.1 dumbbell: 4 senders, deep tail-drop buffer",
+        topology="aqm",
+        network=_dumbbell(4),
+        protocols=(ProtocolSpec("bbr"),),
+        workload=_paper_onoff(),
+        duration=3.0,
+        seed=401,
+        smoke=True,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="bbr-dumbbell-codel",
+        description="BBR over a single-queue CoDel gateway: sojourn drops vs. the model",
+        topology="aqm",
+        network=NetworkSpec(
+            link_rate_bps=12e6,
+            rtt=0.080,
+            n_flows=4,
+            queue="codel",
+            buffer_packets=300,
+        ),
+        protocols=(ProtocolSpec("bbr"),),
+        workload=ByteFlowWorkload.exponential(
+            mean_flow_bytes=150e3, mean_off_seconds=0.2
+        ),
+        duration=3.0,
+        seed=402,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="bbr-path-sfqcodel",
+        description=(
+            "BBR through a two-bottleneck parking lot with per-flow "
+            "sfqCoDel gateways and cross traffic on each hop"
+        ),
+        topology="aqm",
+        network=PathSpec(
+            forward=(
+                LinkSpec(rate_bps=8e6, delay=0.005, buffer_packets=200, queue="sfqcodel"),
+                LinkSpec(rate_bps=6e6, delay=0.005, buffer_packets=200, queue="sfqcodel"),
+            ),
+            rtt=(0.100, 0.100, 0.050, 0.050),
+            n_flows=4,
+            forward_hops=((0, 1), (0, 1), (0,), (1,)),
+        ),
+        protocols=(ProtocolSpec("bbr"),),
+        workload=ByteFlowWorkload.exponential(
+            mean_flow_bytes=150e3, mean_off_seconds=0.2
+        ),
+        duration=3.0,
+        seed=403,
     )
 )
 

@@ -111,3 +111,14 @@ class TestTraceDrivenLink:
         times = [i * 0.1 for i in range(11)]
         link = TraceDrivenLink(scheduler, delivery_times=times)
         assert link.mean_rate_bps == pytest.approx(10 * 1500 * 8)
+
+    def test_mean_rate_scales_with_mss(self, scheduler):
+        # Each opportunity carries one MSS: the capacity estimate must use
+        # the configured segment size, not assume 1500-byte packets.
+        times = [i * 0.1 for i in range(11)]
+        link = TraceDrivenLink(scheduler, delivery_times=times, mss_bytes=9000)
+        assert link.mean_rate_bps == pytest.approx(10 * 9000 * 8)
+
+    def test_rejects_nonpositive_mss(self, scheduler):
+        with pytest.raises(ValueError):
+            TraceDrivenLink(scheduler, delivery_times=[0.0, 0.1], mss_bytes=0)

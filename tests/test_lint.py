@@ -172,3 +172,32 @@ class TestCommandLine:
         bad.write_text("import random\nSEED = random.random()\n")
         proc = self.run_cli("--select", "PKT001", str(bad))
         assert proc.returncode == 0
+
+
+class TestRepoHygiene:
+    """No generated artifacts (bytecode, tool caches) may be tracked.
+
+    The seed accidentally committed 51 ``__pycache__/*.pyc`` files; this
+    test (and the matching CI lint-job step) keeps them from coming back.
+    """
+
+    GENERATED = ("__pycache__/", ".pyc", ".pytest_cache/", ".hypothesis/", ".benchmarks/")
+
+    def test_no_tracked_bytecode_or_caches(self):
+        proc = subprocess.run(
+            ["git", "ls-files"], cwd=REPO_ROOT, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            pytest.skip("not a git checkout")
+        offenders = [
+            line
+            for line in proc.stdout.splitlines()
+            if line.endswith(".pyc")
+            or any(part in line for part in ("__pycache__/", ".pytest_cache/", ".hypothesis/", ".benchmarks/"))
+        ]
+        assert offenders == [], f"generated files are tracked: {offenders[:10]}"
+
+    def test_gitignore_covers_generated_artifacts(self):
+        gitignore = (REPO_ROOT / ".gitignore").read_text()
+        for pattern in ("__pycache__/", "*.pyc", ".pytest_cache/"):
+            assert pattern in gitignore

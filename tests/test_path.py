@@ -208,6 +208,56 @@ class TestPathNetwork:
         for stats in result.flow_stats:
             assert stats.queue_delay_count >= 2 * stats.packets_received > 0
 
+    def test_hop_delay_attribution_sums_to_flow_totals(self):
+        # The per-hop breakdown must partition the flow-total counters:
+        # counts exactly, delay sums within float tolerance (the total and
+        # the per-hop accumulators fold the same samples in a different
+        # order).
+        spec = self._two_hop_spec(
+            forward=(
+                LinkSpec(rate_bps=12e6, buffer_packets=400),
+                LinkSpec(rate_bps=8e6, buffer_packets=400),
+                LinkSpec(rate_bps=10e6, buffer_packets=400),
+            ),
+        )
+        result = Simulation(spec, _newreno(2), None, duration=2.0, seed=5).run()
+        assert len(result.hop_delays) == 3
+        for stats in result.flow_stats:
+            hops = result.hop_delay_breakdown(stats.flow_id)
+            assert all(hop is not None for hop in hops)
+            assert sum(hop.count for hop in hops) == stats.queue_delay_count
+            assert sum(hop.delay_sum for hop in hops) == pytest.approx(
+                stats.queue_delay_sum
+            )
+            assert max(hop.max_delay for hop in hops) == stats.max_queue_delay
+
+    def test_hop_delay_attribution_names_the_bottleneck(self):
+        # 8 Mbps middle hop behind a 12 Mbps entry: the queueing must be
+        # attributed to the narrow hop, not smeared across the chain.
+        result = Simulation(
+            self._two_hop_spec(), _newreno(2), None, duration=2.0, seed=6
+        ).run()
+        for stats in result.flow_stats:
+            per_hop = result.hop_avg_delays_ms(stats.flow_id)
+            assert per_hop[1] > per_hop[0]
+
+    def test_hop_delay_attribution_respects_flow_routes(self):
+        # Parking-lot cross traffic: flow 1 never crosses hop 1, so it has
+        # no accumulator there (None, not a zero-count entry).
+        spec = self._two_hop_spec(forward_hops=((0, 1), (0,)))
+        result = Simulation(spec, _newreno(2), None, duration=2.0, seed=7).run()
+        through, parked = result.hop_delay_breakdown(0), result.hop_delay_breakdown(1)
+        assert through[0] is not None and through[1] is not None
+        assert parked[0] is not None and parked[1] is None
+        assert result.hop_avg_delays_ms(1)[1] == 0.0
+
+    def test_dumbbell_results_have_no_hop_breakdown(self):
+        result = Simulation(
+            NetworkSpec(n_flows=2), _newreno(2), None, duration=1.0, seed=8
+        ).run()
+        assert result.hop_delays == []
+        assert result.hop_delay_breakdown(0) == []
+
     def test_reverse_congestion_inflates_rtt(self):
         # Paced open-loop senders well below the forward bottleneck: forward
         # queues stay empty, so any RTT inflation is pure reverse-path ACK

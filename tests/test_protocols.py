@@ -5,6 +5,7 @@ import pytest
 from repro.netsim.packet import AckInfo
 from repro.protocols import PROTOCOLS
 from repro.protocols.aimd import AIMD
+from repro.protocols.bbr import BBR
 from repro.protocols.compound import CompoundTCP
 from repro.protocols.constant_rate import ConstantRate
 from repro.protocols.cubic import Cubic
@@ -13,7 +14,7 @@ from repro.protocols.newreno import NewReno
 from repro.protocols.vegas import Vegas
 
 
-def make_ack(now=1.0, rtt=0.1, newly_acked=1500, ecn=False, seq=0):
+def make_ack(now=1.0, rtt=0.1, newly_acked=1500, ecn=False, seq=0, in_flight=0):
     return AckInfo(
         now=now,
         acked_seq=seq,
@@ -24,6 +25,7 @@ def make_ack(now=1.0, rtt=0.1, newly_acked=1500, ecn=False, seq=0):
         echo_sent_time=now - rtt,
         receiver_time=now - rtt / 2,
         ecn_echo=ecn,
+        in_flight=in_flight,
     )
 
 
@@ -37,7 +39,7 @@ def feed_acks(cc, count, rtt=0.1, start=1.0, spacing=0.01, ecn=False):
 
 class TestRegistry:
     def test_registry_contains_all_protocols(self):
-        expected = {"aimd", "constant", "newreno", "vegas", "cubic", "compound", "dctcp", "xcp", "remy"}
+        expected = {"aimd", "constant", "newreno", "vegas", "cubic", "bbr", "compound", "dctcp", "xcp", "remy"}
         assert expected == set(PROTOCOLS)
 
 
@@ -230,6 +232,103 @@ class TestConstantRate:
     def test_rejects_bad_rate(self):
         with pytest.raises(ValueError):
             ConstantRate(rate_pps=0)
+
+
+class TestBBR:
+    """State-machine tests for the rate-based BBR implementation.
+
+    The driver below feeds a constant 150 kB/s delivery rate (ten 1500-byte
+    ACKs per 0.1 s round trip), so the model should converge on
+    ``btl_bw = 150000 B/s`` and ``rt_prop = 0.1 s`` — a 10-packet BDP.
+    """
+
+    RATE_BPS = 150000.0  # bytes/sec the constant-rate driver delivers
+    BDP = 10.0  # packets: RATE_BPS * 0.1 s / 1500 B
+
+    def _drive(self, cc, start, count, rtt=0.1, in_flight=30.0):
+        now = start
+        for i in range(count):
+            cc.on_ack(make_ack(now=now, rtt=rtt, seq=i, in_flight=in_flight))
+            now += 0.01
+        return now
+
+    def _probe_bw_cc(self):
+        """Return (cc, now) with the flow driven into PROBE_BW."""
+        cc = BBR()
+        # Keep in-flight above the BDP so DRAIN is observable as a state.
+        now = self._drive(cc, start=1.0, count=50, in_flight=30.0)
+        assert cc.state == "drain"
+        cc.on_ack(make_ack(now=now, rtt=0.1, seq=50, in_flight=5.0))
+        assert cc.state == "probe_bw"
+        return cc, now
+
+    def test_registered(self):
+        assert PROTOCOLS["bbr"] is BBR
+        assert BBR().name == "bbr"
+
+    def test_rejects_nonpositive_mss(self):
+        with pytest.raises(ValueError):
+            BBR(mss_bytes=0)
+
+    def test_startup_exits_to_drain_when_bandwidth_plateaus(self):
+        cc = BBR()
+        assert cc.state == "startup"
+        self._drive(cc, start=1.0, count=50, in_flight=30.0)
+        # Three rounds without 25% bandwidth growth: the pipe is full, and
+        # with in-flight still above the BDP the flow must be draining.
+        assert cc.filled_pipe
+        assert cc.state == "drain"
+        assert cc.pacing_gain < 1.0
+        assert cc.btl_bw == pytest.approx(self.RATE_BPS, rel=0.01)
+
+    def test_drain_ends_when_in_flight_reaches_bdp(self):
+        cc, _ = self._probe_bw_cc()
+        assert cc.pacing_gain == pytest.approx(1.25)  # probing phase first
+
+    def test_model_sets_pacing_and_window(self):
+        cc, _ = self._probe_bw_cc()
+        expected_gap = 1500.0 / (cc.pacing_gain * self.RATE_BPS)
+        assert cc.intersend_time == pytest.approx(expected_gap, rel=0.01)
+        assert cc.cwnd == pytest.approx(2.0 * self.BDP, rel=0.01)
+
+    def test_probe_bw_cycles_through_gain_phases(self):
+        cc, now = self._probe_bw_cc()
+        # A full rt_prop in the probing phase moves on to the drain phase.
+        cc.on_ack(make_ack(now=now + 0.11, rtt=0.1, seq=0, in_flight=30.0))
+        assert cc.pacing_gain == pytest.approx(0.75)
+        # The drain phase ends early once in-flight falls to the BDP.
+        cc.on_ack(make_ack(now=now + 0.12, rtt=0.1, seq=0, in_flight=5.0))
+        assert cc.pacing_gain == pytest.approx(1.0)
+
+    def test_probe_rtt_entered_when_min_rtt_estimate_expires(self):
+        cc, now = self._probe_bw_cc()
+        # No sample below 0.1 s for over MIN_RTT_WINDOW seconds: the filter
+        # expires, the current (inflated) sample is adopted, and the flow
+        # drops to the window floor to re-observe the propagation delay.
+        cc.on_ack(make_ack(now=now + 10.5, rtt=0.15, seq=0, in_flight=3.0))
+        assert cc.state == "probe_rtt"
+        assert cc.cwnd == pytest.approx(4.0)
+        assert cc.rt_prop == pytest.approx(0.15)
+        # After PROBE_RTT_DURATION plus one round at the floor, the flow
+        # returns to PROBE_BW at the start of the gain cycle.
+        cc.on_ack(make_ack(now=now + 10.8, rtt=0.15, seq=0, in_flight=3.0))
+        assert cc.state == "probe_bw"
+        assert cc.pacing_gain == pytest.approx(1.25)
+        assert cc.cwnd > 4.0
+
+    def test_fast_retransmit_loss_does_not_change_model(self):
+        cc, _ = self._probe_bw_cc()
+        before = (cc.cwnd, cc.intersend_time, cc.btl_bw)
+        cc.on_loss(now=100.0)
+        assert (cc.cwnd, cc.intersend_time, cc.btl_bw) == before
+
+    def test_timeout_restarts_from_startup(self):
+        cc, _ = self._probe_bw_cc()
+        cc.on_timeout(now=100.0)
+        assert cc.state == "startup"
+        assert cc.btl_bw == 0.0
+        assert not cc.filled_pipe
+        assert cc.intersend_time == 0.0
 
 
 class TestBaseValidation:

@@ -194,6 +194,89 @@ def test_timed_flow_switches_off(scheduler):
     assert stats.on_time == pytest.approx(1.0, abs=1e-6)
 
 
+def test_stale_acks_from_previous_on_period_do_not_fire_loss(scheduler):
+    """Regression: ACKs in flight across an off/on boundary are not losses.
+
+    A duration-limited on period ends with a full window outstanding, and
+    the return path delivers the final burst's ACKs *after* the short off
+    gap — inside the next on period — with the top-of-burst ACK overtaking
+    the rest (a mildly reordering return path).  Once the overtaking ACK
+    has advanced the retained cumulative point, the late stale ACKs cannot
+    advance it, so they used to be classified as duplicates — and three of
+    them fired a spurious fast retransmit / ``cc.on_loss`` on a flow that
+    had lost nothing (no data packet was ever dropped).  The sender must
+    recognise them by their echoed send time (before the current period
+    began) and release them unread.
+    """
+
+    class LossCounter(FixedWindow):
+        def __init__(self):
+            super().__init__(window=8.0)
+            self.losses = 0
+
+        def on_loss(self, now):
+            self.losses += 1
+
+    class TwoTimedPeriods(Workload):
+        def first_on_delay(self, rng):
+            return 0.0
+
+        def next_off_duration(self, rng):
+            return 0.03  # shorter than the ACK path delay
+
+        def next_flow(self, rng):
+            return FlowDemand(duration=0.95)
+
+    cc = LossCounter()
+    stats = FlowStats(0)
+    sender = Sender(
+        0,
+        scheduler,
+        cc=cc,
+        workload=TwoTimedPeriods(),
+        stats=stats,
+        rng=random.Random(0),
+    )
+    receiver = Receiver(0, scheduler, stats=stats)
+    sender.connect(lambda p: scheduler.schedule_after(0.05, receiver.on_packet, p))
+
+    # Period 1 sends 8-packet bursts every 0.115 s round trip, so it covers
+    # seqs 0..71 before switching off at 0.95 s; its last burst's ACKs
+    # (65..72) are still in flight across the off/on boundary.  The highest
+    # of them takes the fast path (0.05 s) and the rest a slightly slower
+    # one (0.065 s), so the slow ones arrive as non-advancing —
+    # "duplicate" — ACKs.  Period 2's ACKs (all >= 72) take the fast path:
+    # no reordering there, and no receiver-side hole ever exists.
+    PERIOD1_TOP_ACK = 72
+
+    def ack_delay(ack):
+        return 0.065 if ack.ack_seq < PERIOD1_TOP_ACK else 0.05
+
+    receiver.connect(
+        lambda a: scheduler.schedule_after(ack_delay(a), sender.on_ack, a)
+    )
+
+    stale_seen_while_on = []
+    inner_on_ack = sender.on_ack
+
+    def spying_on_ack(ack):
+        if sender.state == "on" and ack.echo_sent_time < sender.on_start_time:
+            stale_seen_while_on.append(scheduler.now)
+        inner_on_ack(ack)
+
+    sender.on_ack = spying_on_ack
+    sender.start()
+    scheduler.run_until(2.5)
+
+    # The scenario must actually exercise the boundary: stale ACKs from
+    # period 1 arrived while period 2 was on (enough to cross the
+    # three-duplicate threshold had they been processed).
+    assert len(stale_seen_while_on) >= 3
+    assert cc.losses == 0
+    assert stats.losses_detected == 0
+    assert stats.retransmissions == 0
+
+
 def test_always_on_workload(scheduler):
     sender, _, stats, _ = build_pair(scheduler, FixedWindow(4), AlwaysOnWorkload())
     sender.start()
