@@ -36,7 +36,7 @@ from repro.analysis.summary import SchemeSummary, format_summary_table
 from repro.core.pretrained import pretrained_remycc
 from repro.core.whisker_tree import WhiskerTree
 from repro.netsim.sender import Workload
-from repro.netsim.simulator import TopologySpec
+from repro.netsim.simulator import SimulationResult, TopologySpec
 from repro.protocols.base import CongestionControl
 from repro.protocols.compound import CompoundTCP
 from repro.protocols.cubic import Cubic
@@ -115,6 +115,7 @@ def _scheme_jobs(
     max_events: Optional[int],
     first_job_id: int,
     seed_for_run: Optional[Callable[[int, int], int]] = None,
+    trace_flows: tuple[int, ...] = (),
 ) -> list[SimJob]:
     """Build the ``n_runs`` jobs for one scheme over a scenario.
 
@@ -140,6 +141,7 @@ def _scheme_jobs(
             seed=seed_for_run(base_seed, run_index),
             workloads=workloads,
             max_events=max_events,
+            trace_flows=trace_flows,
         )
         if scheme.tree is not None:
             jobs.append(SimJob(tree=scheme.tree, training=False, **common))
@@ -226,6 +228,48 @@ def run_schemes(
     return summaries
 
 
+def run_scheme_results(
+    scheme: SchemeSpec,
+    spec: TopologySpec,
+    workload_factory: WorkloadFactory,
+    n_runs: int = 4,
+    duration: float = 30.0,
+    base_seed: int = 0,
+    max_events: Optional[int] = None,
+    backend: Optional[ExecutionBackend] = None,
+    seed_for_run: Optional[Callable[[int, int], int]] = None,
+    trace_flows: tuple[int, ...] = (),
+) -> list[SimulationResult]:
+    """Per-run raw results for one scheme — the un-folded sibling of
+    :func:`run_scheme`.
+
+    Figures whose metric is not a (throughput, delay) cloud — per-flow share
+    profiles, objective scores, sequence traces — need each run's
+    :class:`~repro.netsim.simulator.SimulationResult` rather than a
+    :class:`SchemeSummary` fold.  The fan-out still goes through the shared
+    job builder and a backend batch, so seeds/workloads/protocols are
+    constructed exactly as :func:`run_scheme` would (``seed_for_run``
+    preserves each recorded figure's historical per-run seed arithmetic).
+    """
+    if n_runs <= 0:
+        raise ValueError("n_runs must be positive")
+    jobs = _scheme_jobs(
+        scheme,
+        spec,
+        workload_factory,
+        n_runs,
+        duration,
+        base_seed,
+        max_events,
+        first_job_id=0,
+        seed_for_run=seed_for_run,
+        trace_flows=trace_flows,
+    )
+    if backend is None:
+        backend = SerialBackend()
+    return [job_result.result for job_result in backend.run_batch(jobs)]
+
+
 def resolve_scenario(scenario: Union[str, ScenarioSpec]) -> ScenarioSpec:
     """Accept either a registered cell name or an explicit spec."""
     if isinstance(scenario, str):
@@ -290,6 +334,60 @@ def sweep_seed(cell_name: str, base_seed: int, run_index: int) -> int:
     every scheme of a cell is compared on identical randomness.
     """
     return mix_seed("scenario-sweep", cell_name, base_seed, run_index)
+
+
+def run_cell_results(
+    scenario: Union[str, ScenarioSpec],
+    n_runs: int = 1,
+    duration: Optional[float] = None,
+    base_seed: Optional[int] = None,
+    seed_derivation: Optional[SeedDerivation] = None,
+    max_events: Optional[int] = None,
+    backend: Optional[ExecutionBackend] = None,
+    trace_flows: tuple[int, ...] = (),
+) -> list[SimulationResult]:
+    """Run one cell ``n_runs`` times as a backend batch; raw per-run results.
+
+    The raw-results runner for cells whose protocol set is fixed by the cell
+    itself — mixed-protocol cells like the §5.6 coexistence table (a RemyCC
+    sharing the bottleneck with Cubic), or single-scheme cells whose figure
+    reads per-flow traces — where :func:`run_scenario_sweep`'s
+    scheme-swapping fan-out does not apply.  The cell's protocol set,
+    workloads and kernel choice travel with the (self-contained, picklable)
+    jobs; protocols are instantiated fresh in whichever process runs each
+    job, exactly as the hand-written harness loops did per run.
+
+    ``seed_derivation`` maps ``(cell name, base seed, run index)`` to each
+    run's seed (default: the collision-free :func:`sweep_seed`); harnesses
+    reproducing recorded outputs pass their historical arithmetic.
+    """
+    if n_runs <= 0:
+        raise ValueError("n_runs must be positive")
+    cell = resolve_scenario(scenario)
+    if seed_derivation is None:
+        seed_derivation = sweep_seed
+    cell_duration = cell.duration if duration is None else duration
+    cell_seed = cell.seed if base_seed is None else base_seed
+    spec = cell.network_spec()
+    jobs = []
+    for run_index in range(n_runs):
+        workloads = cell.make_workloads()
+        jobs.append(
+            SimJob(
+                job_id=run_index,
+                spec=spec,
+                duration=cell_duration,
+                seed=seed_derivation(cell.name, cell_seed, run_index),
+                workloads=tuple(workloads) if workloads is not None else (),
+                scenario=cell,
+                max_events=max_events,
+                trace_flows=tuple(trace_flows),
+                kernel=cell.kernel,
+            )
+        )
+    if backend is None:
+        backend = SerialBackend()
+    return [job_result.result for job_result in backend.run_batch(jobs)]
 
 
 def run_scenario_sweep(

@@ -11,21 +11,24 @@ Two sweeps reproduce the paper's two tables:
   {200 ms, 100 ms, 10 ms} (the senders' duty cycle);
 * versus **Cubic**: exponential flow lengths of mean 100 kB and 1 MB with a
   500 ms mean off time.
+
+Each table row is a mixed-protocol cell — the registry's
+``competing-remy-cubic`` with the contender and workload swapped in — run
+through the shared cell runner
+(:func:`~repro.experiments.base.run_cell_results`) under the historical
+``base_seed * 31 + run_index`` seeds, bit-identical to the hand-written
+``Simulation`` loop this replaces.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.core.pretrained import pretrained_remycc
-from repro.netsim.simulator import Simulation
-from repro.protocols.base import CongestionControl
-from repro.scenarios import get_scenario
-from repro.protocols.compound import CompoundTCP
-from repro.protocols.cubic import Cubic
-from repro.protocols.remycc import RemyCCProtocol
+from repro.experiments.base import run_cell_results
+from repro.runner import ExecutionBackend
+from repro.scenarios import ProtocolSpec, get_scenario
 from repro.traffic.distributions import ExponentialDistribution
 from repro.traffic.flowsize import icsi_flow_length_distribution
 from repro.traffic.onoff import ByteFlowWorkload
@@ -63,27 +66,34 @@ class CompetingResult:
 
 
 def _competing_run(
-    other_factory,
+    other_protocol: str,
     other_name: str,
-    workload_factory,
+    workload: ByteFlowWorkload,
     setting: str,
     n_runs: int,
     duration: float,
     base_seed: int,
     remy_tree_name: str = "coexist",
+    backend: Optional[ExecutionBackend] = None,
 ) -> CompetingRow:
-    spec = get_scenario("competing-remy-cubic").network
-    tree = pretrained_remycc(remy_tree_name)
-    remy_tputs, other_tputs = [], []
-    for run_index in range(n_runs):
-        protocols: list[CongestionControl] = [RemyCCProtocol(tree), other_factory()]
-        workloads = [workload_factory(), workload_factory()]
-        sim = Simulation(
-            spec, protocols, workloads, duration=duration, seed=base_seed * 31 + run_index
-        )
-        result = sim.run()
-        remy_tputs.append(result.flow_stats[0].throughput_mbps())
-        other_tputs.append(result.flow_stats[1].throughput_mbps())
+    """One table row: the RemyCC vs one contender under one workload."""
+    cell = get_scenario("competing-remy-cubic").override(
+        protocols=(
+            ProtocolSpec("remy", tree=remy_tree_name),
+            ProtocolSpec(other_protocol),
+        ),
+        workload=workload,
+    )
+    results = run_cell_results(
+        cell,
+        n_runs=n_runs,
+        duration=duration,
+        base_seed=base_seed,
+        seed_derivation=lambda _cell, base, run: base * 31 + run,
+        backend=backend,
+    )
+    remy_tputs = [result.flow_stats[0].throughput_mbps() for result in results]
+    other_tputs = [result.flow_stats[1].throughput_mbps() for result in results]
     return CompetingRow(
         setting=setting,
         remy_mean_mbps=statistics.fmean(remy_tputs),
@@ -100,19 +110,21 @@ def run_vs_compound(
     duration: float = 30.0,
     max_flow_bytes: float = 20e6,
     base_seed: int = 61,
+    backend: Optional[ExecutionBackend] = None,
 ) -> CompetingResult:
     """RemyCC vs Compound: ICSI flow lengths, sweeping the mean off time."""
     flow_sizes = icsi_flow_length_distribution(maximum_bytes=max_flow_bytes)
     result = CompetingResult(other_name="Compound")
     for off in off_times_seconds:
         row = _competing_run(
-            CompoundTCP,
+            "compound",
             "Compound",
-            lambda off=off: ByteFlowWorkload(flow_size=flow_sizes, mean_off_seconds=off),
+            ByteFlowWorkload(flow_size=flow_sizes, mean_off_seconds=off),
             setting=f"off={off * 1000:.0f} ms",
             n_runs=n_runs,
             duration=duration,
             base_seed=base_seed,
+            backend=backend,
         )
         result.rows.append(row)
     return result
@@ -124,20 +136,23 @@ def run_vs_cubic(
     n_runs: int = 3,
     duration: float = 30.0,
     base_seed: int = 62,
+    backend: Optional[ExecutionBackend] = None,
 ) -> CompetingResult:
     """RemyCC vs Cubic: exponential flow lengths of mean 100 kB and 1 MB."""
     result = CompetingResult(other_name="Cubic")
     for mean_bytes in mean_flow_bytes:
         row = _competing_run(
-            Cubic,
+            "cubic",
             "Cubic",
-            lambda mb=mean_bytes: ByteFlowWorkload(
-                flow_size=ExponentialDistribution(mb), mean_off_seconds=mean_off_seconds
+            ByteFlowWorkload(
+                flow_size=ExponentialDistribution(mean_bytes),
+                mean_off_seconds=mean_off_seconds,
             ),
             setting=f"mean={mean_bytes / 1e3:.0f} kB",
             n_runs=n_runs,
             duration=duration,
             base_seed=base_seed,
+            backend=backend,
         )
         result.rows.append(row)
     return result

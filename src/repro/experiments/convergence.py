@@ -6,16 +6,23 @@ flow responding within roughly one RTT by doubling its sending rate to
 consume the whole bottleneck.  The harness records the RemyCC flow's
 cumulative-acknowledgment trajectory and reports the average rate before and
 after the departure.
+
+The run goes through the shared cell runner
+(:func:`~repro.experiments.base.run_cell_results`): the registry cell
+supplies the topology and the RemyCC pair, the harness overrides the
+paper-scale knobs and the departure schedule, and the single job carries the
+historical seed directly — output is bit-identical to the hand-written
+``Simulation`` loop this replaces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.core.pretrained import pretrained_remycc
-from repro.netsim.simulator import Simulation
-from repro.protocols.remycc import RemyCCProtocol
-from repro.scenarios import get_scenario
+from repro.experiments.base import run_cell_results
+from repro.runner import ExecutionBackend
+from repro.scenarios import ProtocolSpec, get_scenario
 from repro.traffic.onoff import FixedOnPeriodWorkload
 
 
@@ -45,23 +52,31 @@ def run_figure6(
     duration: float = 30.0,
     departure_time: float = 15.0,
     seed: int = 66,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ConvergenceResult:
     """Run the Figure 6 scenario and return the convergence summary."""
     if not 0 < departure_time < duration:
         raise ValueError("departure_time must fall inside the run")
-    spec = get_scenario("fig6-convergence").override(
-        link_rate_bps=link_rate_bps, rtt=rtt
-    ).network_spec()
-    tree = pretrained_remycc(tree_name)
-    protocols = [RemyCCProtocol(tree), RemyCCProtocol(tree)]
-    workloads = [
-        FixedOnPeriodWorkload(start=0.0, duration=duration),       # the observed flow
-        FixedOnPeriodWorkload(start=0.0, duration=departure_time), # the departing competitor
-    ]
-    sim = Simulation(
-        spec, protocols, workloads, duration=duration, seed=seed, trace_flows=(0,)
+    cell = get_scenario("fig6-convergence").override(
+        link_rate_bps=link_rate_bps,
+        rtt=rtt,
+        protocols=(ProtocolSpec("remy", tree=tree_name),),
+        per_flow_workloads=(
+            FixedOnPeriodWorkload(start=0.0, duration=duration),        # the observed flow
+            FixedOnPeriodWorkload(start=0.0, duration=departure_time),  # the departing competitor
+        ),
     )
-    result = sim.run()
+    spec = cell.network_spec()
+    result = run_cell_results(
+        cell,
+        n_runs=1,
+        duration=duration,
+        base_seed=seed,
+        # Single run at the recorded figure's historical seed, verbatim.
+        seed_derivation=lambda _cell, base, run: base + run,
+        trace_flows=(0,),
+        backend=backend,
+    )[0]
     trace = result.flow_stats[0].sequence_trace
 
     def rate_between(t0: float, t1: float) -> float:

@@ -13,18 +13,24 @@ keep the default run affordable in pure Python the harness exposes a
 together (which preserves the per-flow bandwidth share and the queueing
 dynamics that drive the comparison).  ``scale=1`` reproduces the paper's
 exact parameters.
+
+Both rows run through the shared cell runner
+(:func:`~repro.experiments.base.run_cell_results`): the registry cell
+(pinned at 1/32 scale) is re-scaled via ``override`` and the RemyCC row
+derives from it by swapping the queue and protocol set — output is
+bit-identical to the hand-written ``Simulation`` calls this replaces.
 """
 
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from typing import Optional
 
-from repro.core.pretrained import pretrained_remycc
-from repro.netsim.simulator import Simulation
-from repro.protocols.dctcp import DCTCP
-from repro.protocols.remycc import RemyCCProtocol
-from repro.scenarios import get_scenario
+from repro.experiments.base import run_cell_results
+from repro.netsim.simulator import SimulationResult
+from repro.runner import ExecutionBackend
+from repro.scenarios import ProtocolSpec, get_scenario
 from repro.traffic.onoff import ByteFlowWorkload
 
 
@@ -61,7 +67,7 @@ class DatacenterResult:
         return "\n".join([header, self.dctcp.format(), self.remycc.format()])
 
 
-def _summarise(scheme: str, result) -> DatacenterRow:
+def _summarise(scheme: str, result: SimulationResult) -> DatacenterRow:
     flows = [s for s in result.flow_stats if s.on_time > 0 and s.rtt_count > 0]
     tputs = [s.throughput_mbps() for s in flows] or [0.0]
     rtts = [s.avg_rtt() * 1000 for s in flows] or [0.0]
@@ -79,6 +85,7 @@ def run_datacenter(
     duration: float = 3.0,
     seed: int = 5,
     marking_threshold_packets: float = 65.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> DatacenterResult:
     """Run the §5.5 comparison at ``1/scale`` of the paper's absolute size.
 
@@ -91,45 +98,34 @@ def run_datacenter(
     n_flows = 64 // scale
     link_rate = 10e9 / scale
     mean_flow_bytes = 20e6 / scale
-    rtt = 0.004
-
-    def workloads() -> list[ByteFlowWorkload]:
-        return [
-            ByteFlowWorkload.exponential(
-                mean_flow_bytes=mean_flow_bytes, mean_off_seconds=0.1
-            )
-            for _ in range(n_flows)
-        ]
 
     # DCTCP over the ECN-marking gateway: the registry cell (pinned at 1/32
     # scale) re-scaled to the requested size.
-    dctcp_spec = replace(
-        get_scenario("datacenter-dctcp").network,
+    dctcp_cell = get_scenario("datacenter-dctcp").override(
         link_rate_bps=link_rate,
-        rtt=rtt,
+        rtt=0.004,
         n_flows=n_flows,
         dctcp_marking_threshold=marking_threshold_packets,
+        workload=ByteFlowWorkload.exponential(
+            mean_flow_bytes=mean_flow_bytes, mean_off_seconds=0.1
+        ),
     )
-    dctcp_sim = Simulation(
-        dctcp_spec,
-        [DCTCP() for _ in range(n_flows)],
-        workloads(),
-        duration=duration,
-        seed=seed,
-    )
-    dctcp_row = _summarise("DCTCP (ECN)", dctcp_sim.run())
-
     # RemyCC (minimum-potential-delay objective) over plain DropTail.
-    tree = pretrained_remycc("datacenter")
-    remy_spec = replace(dctcp_spec, queue="droptail")
-    remy_sim = Simulation(
-        remy_spec,
-        [RemyCCProtocol(tree) for _ in range(n_flows)],
-        workloads(),
-        duration=duration,
-        seed=seed,
+    remy_cell = dctcp_cell.override(
+        queue="droptail",
+        protocols=(ProtocolSpec("remy", tree="datacenter"),),
     )
-    remy_row = _summarise("RemyCC (DropTail)", remy_sim.run())
+    # Both rows run at the same seed on purpose: the paper compares the two
+    # schemes on identical workload randomness.
+    common = dict(
+        n_runs=1,
+        duration=duration,
+        base_seed=seed,
+        seed_derivation=lambda _cell, base, run: base + run,
+        backend=backend,
+    )
+    dctcp_row = _summarise("DCTCP (ECN)", run_cell_results(dctcp_cell, **common)[0])
+    remy_row = _summarise("RemyCC (DropTail)", run_cell_results(remy_cell, **common)[0])
 
     return DatacenterResult(
         dctcp=dctcp_row,

@@ -17,9 +17,9 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.core.objective import Objective
-from repro.experiments.base import SchemeSpec, remycc_scheme
-from repro.netsim.simulator import Simulation
+from repro.experiments.base import SchemeSpec, remycc_scheme, run_scheme_results
 from repro.protocols.cubic import Cubic
+from repro.runner import ExecutionBackend
 from repro.scenarios import get_scenario
 from repro.traffic.onoff import TimedFlowWorkload
 
@@ -93,8 +93,15 @@ def run_figure11(
     duration: float = 20.0,
     rtt: float = 0.150,
     base_seed: int = 110,
+    backend: Optional[ExecutionBackend] = None,
 ) -> PriorKnowledgeResult:
-    """Sweep the true link speed and score every scheme with the §3.3 objective."""
+    """Sweep the true link speed and score every scheme with the §3.3 objective.
+
+    The per-point ``run`` fan-out goes through the shared raw-results runner
+    (:func:`~repro.experiments.base.run_scheme_results`) under the
+    historical ``base_seed * 13 + run_index`` seeds, bit-identical to the
+    hand-written ``Simulation`` loop this replaces.
+    """
     schemes = list(schemes) if schemes is not None else default_schemes()
     objective = Objective.proportional(delta=1.0)
     result = PriorKnowledgeResult()
@@ -106,28 +113,29 @@ def run_figure11(
     base_network = get_scenario("fig11-prior-1x").network
     for speed_mbps in link_speeds_mbps:
         for scheme in schemes:
+            # The scheme runner applies ``scheme.queue`` itself (sfqCoDel for
+            # the Cubic curve); the base spec pins the tail-drop default.
             spec = replace(
                 base_network,
                 link_rate_bps=speed_mbps * 1e6,
                 rtt=rtt,
                 n_flows=n_flows,
-                queue=scheme.queue if scheme.queue is not None else "droptail",
+                queue="droptail",
+            )
+            run_results = run_scheme_results(
+                scheme,
+                spec,
+                lambda fid: TimedFlowWorkload.exponential(
+                    mean_on_seconds=5.0, mean_off_seconds=5.0, start_on=(fid == 0)
+                ),
+                n_runs=n_runs,
+                duration=duration,
+                base_seed=base_seed,
+                seed_for_run=lambda base, run: base * 13 + run,
+                backend=backend,
             )
             scores, tputs, delays = [], [], []
-            for run_index in range(n_runs):
-                protocols = scheme.make_protocols(n_flows)
-                workloads = [
-                    TimedFlowWorkload.exponential(mean_on_seconds=5.0, mean_off_seconds=5.0, start_on=(fid == 0))
-                    for fid in range(n_flows)
-                ]
-                sim = Simulation(
-                    spec,
-                    protocols,
-                    workloads,
-                    duration=duration,
-                    seed=base_seed * 13 + run_index,
-                )
-                run_result = sim.run()
+            for run_result in run_results:
                 fair_share = spec.link_rate_bps / n_flows
                 for stats in run_result.active_flows():
                     avg_rtt = stats.avg_rtt() if stats.rtt_count else rtt

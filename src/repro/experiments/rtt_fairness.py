@@ -6,6 +6,11 @@ Figure 3 with a mean off time of 0.2 s.  The figure reports each flow's
 *normalised throughput share* as a function of its RTT: a perfectly RTT-fair
 scheme would give every flow 0.25.  The paper finds that the RemyCCs are
 RTT-unfair, but less so than Cubic-over-sfqCoDel.
+
+Each scheme's runs go through the shared raw-results runner
+(:func:`~repro.experiments.base.run_scheme_results`) under the historical
+``base_seed * 577 + run_index`` seeds, bit-identical to the hand-written
+``Simulation`` loop this replaces.
 """
 
 from __future__ import annotations
@@ -15,9 +20,9 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.fairness import jain_index, normalized_shares
-from repro.experiments.base import SchemeSpec, remycc_scheme
-from repro.netsim.simulator import Simulation
+from repro.experiments.base import SchemeSpec, remycc_scheme, run_scheme_results
 from repro.protocols.cubic import Cubic
+from repro.runner import ExecutionBackend
 from repro.scenarios import FIGURE10_RTTS, get_scenario
 from repro.traffic.flowsize import icsi_flow_length_distribution
 from repro.traffic.onoff import ByteFlowWorkload
@@ -61,6 +66,7 @@ def run_figure10(
     mean_off_seconds: float = 0.2,
     max_flow_bytes: float = 20e6,
     base_seed: int = 100,
+    backend: Optional[ExecutionBackend] = None,
 ) -> list[RttFairnessResult]:
     """Run the differing-RTT scenario and return per-scheme share profiles."""
     schemes = list(schemes) if schemes is not None else default_schemes()
@@ -73,21 +79,20 @@ def run_figure10(
             link_rate_bps=link_rate_bps,
             queue=scheme.queue if scheme.queue is not None else "droptail",
         ).network_spec()
+        run_results = run_scheme_results(
+            scheme,
+            spec,
+            lambda _fid: ByteFlowWorkload(
+                flow_size=flow_sizes, mean_off_seconds=mean_off_seconds
+            ),
+            n_runs=n_runs,
+            duration=duration,
+            base_seed=base_seed,
+            seed_for_run=lambda base, run: base * 577 + run,
+            backend=backend,
+        )
         per_run_shares: list[list[float]] = []
-        for run_index in range(n_runs):
-            protocols = scheme.make_protocols(spec.n_flows)
-            workloads = [
-                ByteFlowWorkload(flow_size=flow_sizes, mean_off_seconds=mean_off_seconds)
-                for _ in range(spec.n_flows)
-            ]
-            sim = Simulation(
-                spec,
-                protocols,
-                workloads,
-                duration=duration,
-                seed=base_seed * 577 + run_index,
-            )
-            run_result = sim.run()
+        for run_result in run_results:
             throughputs = [stats.throughput_bps() for stats in run_result.flow_stats]
             per_run_shares.append(normalized_shares(throughputs))
 

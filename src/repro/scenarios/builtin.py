@@ -32,6 +32,8 @@ congested/ACK-dropping reverse paths, and a multi-hop cellular tail link.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.netsim.network import NetworkSpec
 from repro.netsim.path import LinkSpec, PathSpec
 from repro.scenarios.registry import register_scenario
@@ -52,9 +54,9 @@ FIGURE10_RTTS = (0.050, 0.100, 0.150, 0.200)
 ASYM_RTTS = (0.030, 0.075, 0.150, 0.300)
 
 
-def _dumbbell(n_flows: int, **overrides) -> NetworkSpec:
+def _dumbbell(n_flows: int, **overrides: Any) -> NetworkSpec:
     """The §5.1 baseline bottleneck: 15 Mbps, 150 ms, 1000-packet tail-drop."""
-    params = dict(
+    params: dict[str, Any] = dict(
         link_rate_bps=15e6,
         rtt=0.150,
         n_flows=n_flows,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Optional
+from typing import Any, Optional
 
 from repro.netsim.simulator import SimulationResult
 from repro.netsim.stats import FlowStats
@@ -23,7 +23,7 @@ from repro.scenarios.spec import ScenarioSpec
 GOLDEN_RELPATH = Path("tests") / "golden" / "fingerprints.json"
 
 
-def flow_fingerprint(stats: FlowStats) -> list:
+def flow_fingerprint(stats: FlowStats) -> list[object]:
     """Digest of one flow's statistics; floats via ``repr`` for bit-exactness."""
     return [
         stats.flow_id,
@@ -42,7 +42,7 @@ def flow_fingerprint(stats: FlowStats) -> list:
     ]
 
 
-def simulation_fingerprint(result: SimulationResult) -> dict:
+def simulation_fingerprint(result: SimulationResult) -> dict[str, object]:
     """Digest of one :class:`SimulationResult`."""
     return {
         "events": result.events_processed,
@@ -52,7 +52,7 @@ def simulation_fingerprint(result: SimulationResult) -> dict:
     }
 
 
-def cell_fingerprint(cell: ScenarioSpec, **build_kwargs) -> dict:
+def cell_fingerprint(cell: ScenarioSpec, **build_kwargs: Any) -> dict[str, object]:
     """Run one cell at its canonical ``(duration, seed)`` and digest it."""
     return simulation_fingerprint(cell.run(**build_kwargs))
 
@@ -65,14 +65,17 @@ def golden_path(repo_root: Optional[Path] = None) -> Path:
     return repo_root / GOLDEN_RELPATH
 
 
-def load_golden(path: Optional[Path] = None) -> dict[str, dict]:
+def load_golden(path: Optional[Path] = None) -> dict[str, dict[str, object]]:
     """The committed cell fingerprints, as ``{cell name: fingerprint}``."""
     path = path if path is not None else golden_path()
     data = json.loads(path.read_text())
-    return data.get("cells", {})
+    cells: dict[str, dict[str, object]] = data.get("cells", {})
+    return cells
 
 
-def dump_golden(cells: dict[str, dict], path: Optional[Path] = None) -> Path:
+def dump_golden(
+    cells: dict[str, dict[str, object]], path: Optional[Path] = None
+) -> Path:
     """Write the golden file (sorted, newline-terminated) and return its path."""
     path = path if path is not None else golden_path()
     path.parent.mkdir(parents=True, exist_ok=True)

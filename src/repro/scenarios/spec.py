@@ -33,8 +33,9 @@ from __future__ import annotations
 import hashlib
 import pickle
 from dataclasses import dataclass, fields, replace
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.netsim.kernel import KERNEL_NAMES, KernelChoice
 from repro.netsim.path import PathSpec
 from repro.netsim.sender import Workload
 from repro.netsim.simulator import Simulation, SimulationResult, TopologySpec
@@ -137,6 +138,13 @@ class ScenarioSpec:
         benchmark, paper-scale figure runs) pass overrides to :meth:`build`.
     smoke:
         Whether the cell belongs to the tier-1 smoke subset.
+    kernel:
+        Simulation-kernel selection (``"auto"``, ``"generic"`` or
+        ``"flat"``; see :mod:`repro.netsim.kernel`).  A plain string, so the
+        choice pickles and crosses process-pool and queue-worker boundaries
+        with the cell.  Non-behavioral — every kernel reproduces the same
+        results bit-identically — so it does not participate in
+        :meth:`cache_token`.
     """
 
     name: str
@@ -151,12 +159,18 @@ class ScenarioSpec:
     duration: float = 3.0
     seed: int = 0
     smoke: bool = False
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must not be empty")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"{self.name}: unknown kernel {self.kernel!r}; "
+                f"expected one of {KERNEL_NAMES}"
+            )
         n_flows = self.network.n_flows
         if len(self.protocols) not in (1, n_flows):
             raise ValueError(
@@ -202,6 +216,7 @@ class ScenarioSpec:
         if self.trace is None:
             return self.network
         if isinstance(self.network, PathSpec):
+            assert self.trace_link is not None  # __post_init__ guarantees it
             trace_hop = replace(
                 self.network.forward[self.trace_link],
                 delivery_trace=self.trace.delivery_times(),
@@ -229,10 +244,11 @@ class ScenarioSpec:
         """
         # Imported here: protocols imports repro.core, keep this module light.
         from repro.core.pretrained import pretrained_remycc
+        from repro.core.whisker_tree import WhiskerTree
         from repro.protocols import PROTOCOLS
         from repro.protocols.remycc import RemyCCProtocol
 
-        trees: dict[str, object] = {}
+        trees: dict[str, WhiskerTree] = {}
         protocols: list["CongestionControl"] = []
         for flow_id in range(self.network.n_flows):
             proto = self.protocol_spec_for(flow_id)
@@ -267,6 +283,7 @@ class ScenarioSpec:
         use_packet_pool: bool = True,
         debug_packet_pool: bool = False,
         debug_invariants: bool = False,
+        kernel: Optional[KernelChoice] = None,
     ) -> Simulation:
         """Materialize the cell into a ready-to-run :class:`Simulation`."""
         return Simulation(
@@ -279,9 +296,10 @@ class ScenarioSpec:
             use_packet_pool=use_packet_pool,
             debug_packet_pool=debug_packet_pool,
             debug_invariants=debug_invariants,
+            kernel=self.kernel if kernel is None else kernel,
         )
 
-    def run(self, **build_kwargs) -> SimulationResult:
+    def run(self, **build_kwargs: Any) -> SimulationResult:
         """Build and run the cell; see :meth:`build` for the overrides."""
         return self.build(**build_kwargs).run()
 
@@ -313,7 +331,7 @@ class ScenarioSpec:
         ).hexdigest()
 
     # -- derivation ----------------------------------------------------------
-    def override(self, **changes) -> "ScenarioSpec":
+    def override(self, **changes: Any) -> "ScenarioSpec":
         """A copy with scenario- and/or network-level fields replaced.
 
         Keyword arguments naming fields of the embedded network's own class
